@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the paper's figures (tiny scale)."""
+
+from repro.experiments import figure6, figure9, figure10, figure11, figure12_13
+
+
+def test_figure6_dataset_statistics(run_experiment):
+    result = run_experiment(figure6)
+    assert result["sequence_length_distribution"]
+    assert "SP" in result["max_embedding_sizes"]
+    assert result["collision"]["repetition_rate_pct"] < 50.0
+
+
+def test_figure9_data_size_sweep(run_experiment):
+    result = run_experiment(figure9)
+    assert len(result["rows"]) >= 3  # fractions + MLP reference
+
+
+def test_figure10_tuning_pipeline_time(run_experiment):
+    result = run_experiment(figure10)
+    assert result["mean_speedup"]["cpu"] is not None
+
+
+def test_figure11_tuning_curves(run_experiment):
+    result = run_experiment(figure11)
+    assert result["curves"]
+    for curve in result["curves"].values():
+        assert len(curve["workload_latency"]) > 0
+
+
+def test_figure12_13_search_speedups(run_experiment):
+    result = run_experiment(figure12_13)
+    assert result["figure12"]["rows"]
+    assert result["figure13"]["rows"]

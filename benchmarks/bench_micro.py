@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the performance-critical building blocks.
+
+The headline micro-comparison mirrors Figure 10's mechanism: TLP feature
+extraction reads the primitive sequence directly, while Ansor/TenSet
+feature extraction must first lower the schedule to a tensor program —
+so the TLP pipeline is measurably faster per candidate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import extract_features_batch
+from repro.core import PostprocessConfig, TLPConfig, TLPFeaturizer, TLPModel
+from repro.simhw import get_platform, program_latency
+from repro.tensorir import SketchConfig, SketchGenerator
+from repro.workloads import build_network
+
+
+@pytest.fixture(scope="module")
+def schedules():
+    subgraph = build_network("resnet50")[2]
+    gen = SketchGenerator(SketchConfig("cpu"))
+    rng = np.random.default_rng(0)
+    return [gen.generate(subgraph, rng) for _ in range(64)]
+
+
+def test_tlp_feature_extraction(benchmark, schedules):
+    featurizer = TLPFeaturizer(PostprocessConfig())
+    featurizer.fit(schedules)
+    X, M = benchmark(featurizer.transform, schedules)
+    assert X.shape[0] == 64
+
+
+def test_ansor_feature_extraction(benchmark, schedules):
+    """Includes schedule lowering — the cost TLP avoids (Figure 10)."""
+    feats, valid = benchmark(extract_features_batch, schedules)
+    assert valid.all()
+
+
+def test_schedule_application(benchmark, schedules):
+    programs = benchmark(lambda: [s.apply() for s in schedules])
+    assert len(programs) == 64
+
+
+def test_latency_model_cpu(benchmark, schedules):
+    platform = get_platform("platinum-8272")
+    programs = [s.apply() for s in schedules]
+    lats = benchmark(lambda: [program_latency(p, platform) for p in programs])
+    assert all(l > 0 for l in lats)
+
+
+def test_tlp_model_inference(benchmark, schedules):
+    featurizer = TLPFeaturizer(PostprocessConfig())
+    featurizer.fit(schedules)
+    X, M = featurizer.transform(schedules)
+    model = TLPModel(TLPConfig(hidden=128), seed=0)
+    model.eval()
+    scores = benchmark(model.predict, X, M)
+    assert scores.shape == (64,)
+
+
+def test_sketch_generation(benchmark):
+    subgraph = build_network("resnet50")[2]
+    gen = SketchGenerator(SketchConfig("cpu"))
+
+    def sample():
+        rng = np.random.default_rng(1)
+        return [gen.generate(subgraph, rng) for _ in range(32)]
+
+    out = benchmark(sample)
+    assert len(out) == 32

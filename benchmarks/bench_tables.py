@@ -1,0 +1,68 @@
+"""Benchmarks regenerating the paper's tables (tiny scale).
+
+Each benchmark reruns the corresponding experiment end to end — dataset
+(disk-cached), model training, evaluation — and sanity-checks the output
+shape against the paper's table structure.
+"""
+
+from repro.experiments import (
+    arch_ablation,
+    method_ablation,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+
+def test_table3_loss_and_backbone(run_experiment):
+    result = run_experiment(table3)
+    assert len(result["rows"]) == 4  # attention/lstm x rank/mse
+
+
+def test_table4_feature_size_cropping(run_experiment):
+    result = run_experiment(table4)
+    assert len(result["rows"]) == 4  # 2 seq lens x 2 emb sizes
+
+
+def test_table5_all_platforms(run_experiment):
+    result = run_experiment(table5)
+    assert len(result["rows"]) == 7  # 5 CPUs + 2 GPUs
+
+
+def test_table6_mtl_cpu_tasks(run_experiment):
+    result = run_experiment(table6)
+    assert len(result["rows"]) == 4  # 1..4 tasks
+
+
+def test_table7_mtl_gpu_tasks(run_experiment):
+    result = run_experiment(table7)
+    assert len(result["rows"]) == 2
+
+
+def test_table8_transfer_methods(run_experiment):
+    result = run_experiment(table8)
+    assert {r[0].split(" ")[0] for r in result["rows"]} == {
+        "MTL",
+        "Fine-tuning",
+        "GPT",
+        "BERT",
+    }
+
+
+def test_table9_between_architectures(run_experiment):
+    result = run_experiment(table9)
+    assert len(result["rows"]) == 4  # four auxiliary platforms
+
+
+def test_arch_ablation(run_experiment):
+    result = run_experiment(arch_ablation)
+    assert len(result["rows"]) >= 8
+
+
+def test_method_ablation(run_experiment):
+    result = run_experiment(method_ablation)
+    assert len(result["rows"]) == 3  # method3 / method2 / mse-label

@@ -1,0 +1,26 @@
+"""Benchmark fixtures: tiny-scale experiment running.
+
+Each paper table/figure has one benchmark that regenerates it at the
+``tiny`` scale (datasets are disk-cached under ``data/`` so repeated runs
+skip generation). These are end-to-end timings of the reproduction
+pipeline, not micro-benchmarks; they run once per session
+(``benchmark.pedantic`` with a single round).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Run an experiment's `run(scale='tiny')` once under the benchmark."""
+
+    def _run(module):
+        result = benchmark.pedantic(
+            lambda: module.run(scale="tiny", verbose=False), rounds=1, iterations=1
+        )
+        assert result is not None
+        return result
+
+    return _run
