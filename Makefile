@@ -1,0 +1,16 @@
+export PYTHONPATH := src
+
+PYTHON ?= python
+
+.PHONY: test lint bench check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.analysis.selfcheck src/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+check: lint test

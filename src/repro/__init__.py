@@ -1,0 +1,60 @@
+"""TLP reproduction package.
+
+Subsystems land incrementally (see DESIGN.md §3 for the full inventory).
+Currently present:
+
+* ``repro.utils``    — seeded RNG streams, structured logging.
+* ``repro.tensorir`` — subgraphs, loop-nest IR, the 11 Ansor-style schedule
+  primitive kinds, a schedule applier, sketch rules and a random sampler.
+* ``repro.analysis`` — static verification of primitive sequences
+  (no schedule application, no latency simulation) plus a repo self-lint.
+"""
+
+from __future__ import annotations
+
+__version__ = "0.1.0"
+
+from repro.analysis import (
+    Diagnostic,
+    InvalidScheduleError,
+    Severity,
+    verify_schedule,
+    verify_sequence,
+)
+from repro.tensorir import (
+    Axis,
+    Loop,
+    LoopKind,
+    LoopNest,
+    Primitive,
+    PrimitiveKind,
+    Schedule,
+    ScheduleError,
+    ScheduleSampler,
+    SketchConfig,
+    SketchGenerator,
+    Subgraph,
+    sample_schedule,
+)
+
+__all__ = [
+    "__version__",
+    "Axis",
+    "Diagnostic",
+    "InvalidScheduleError",
+    "Loop",
+    "LoopKind",
+    "LoopNest",
+    "Primitive",
+    "PrimitiveKind",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleSampler",
+    "Severity",
+    "SketchConfig",
+    "SketchGenerator",
+    "Subgraph",
+    "sample_schedule",
+    "verify_schedule",
+    "verify_sequence",
+]

@@ -1,0 +1,45 @@
+"""Static analysis: schedule-sequence verification and repo self-lint.
+
+* ``verifier`` — checks primitive sequences against their subgraph without
+  applying them (structural E1xx rules, axis-liveness E2xx dataflow,
+  W3xx performance smells).
+* ``diagnostics`` — the :class:`Diagnostic` record and error-code taxonomy.
+* ``selfcheck`` — an AST lint enforcing DESIGN.md §7 conventions over the
+  source tree (``python -m repro.analysis.selfcheck src/``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    InvalidScheduleError,
+    Severity,
+    errors,
+    format_diagnostics,
+    has_errors,
+    taxonomy_table,
+)
+from repro.analysis.verifier import (
+    SequenceVerifier,
+    VerifierConfig,
+    assert_valid,
+    verify_schedule,
+    verify_sequence,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "InvalidScheduleError",
+    "SequenceVerifier",
+    "Severity",
+    "VerifierConfig",
+    "assert_valid",
+    "errors",
+    "format_diagnostics",
+    "has_errors",
+    "taxonomy_table",
+    "verify_schedule",
+    "verify_sequence",
+]

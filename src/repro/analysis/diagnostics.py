@@ -1,0 +1,127 @@
+"""Structured diagnostics and the error-code taxonomy.
+
+Every finding of the static verifier is a :class:`Diagnostic` carrying a
+stable code, a severity, the index of the offending primitive, and a
+human-readable message.  The taxonomy:
+
+* ``E1xx`` — structural rules, checkable per primitive (bad factors,
+  incomplete permutations, unknown annotation tokens, bad references).
+* ``E2xx`` — dataflow rules over the whole sequence, via the axis-liveness
+  lattice (dead/undefined axes, duplicate definitions, stage conflicts).
+* ``W3xx`` — performance smells that are legal but suspicious (extents
+  that trigger the simulated cache-set / shared-memory-bank conflict
+  terms, oversized unroll pragmas, degenerate splits).
+
+Codes are load-bearing: tests, dataset filters, and the autotuner's
+mutation screen key on them, so existing codes must never be renumbered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable
+
+
+class Severity(IntEnum):
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+#: code -> one-line rule description (the taxonomy table in DESIGN.md is
+#: generated from this mapping; keep the two in sync via ``taxonomy_table``).
+CODES: dict[str, str] = {
+    "E101": "malformed primitive: unknown kind, wrong arity, or bad parameter shape",
+    "E102": "split factor is not a positive integer",
+    "E103": "split factors do not cover the axis extent within the padding allowance",
+    "E104": "reorder is not a complete permutation of the live loop order",
+    "E105": "unknown annotation or pragma token",
+    "E106": "GPU thread bind under a non-GPU target",
+    "E107": "follow-split references a step that is absent or not a split",
+    "E108": "split carries an extent that disagrees with the tracked extent",
+    "E109": "fuse names fewer than two axes or non-adjacent axes",
+    "E201": "reference to an axis that was never defined",
+    "E202": "reference to a consumed (dead) axis",
+    "E203": "axis defined twice",
+    "E204": "rfactor of a non-reduction axis",
+    "E205": "conflicting annotations: axis annotated twice or thread tag bound twice",
+    "E206": "stage conflict: compute-inline combined with CHW/CA/CP/RF or followed by more primitives",
+    "W301": "middle-loop extent is a large power of two (cache-set / bank conflict smell)",
+    "W302": "auto_unroll_max_step exceeds the platform unroll cap",
+    "W303": "degenerate split factor (1 or the full extent)",
+}
+
+
+def severity_of(code: str) -> Severity:
+    return Severity.ERROR if code.startswith("E") else Severity.WARNING
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, anchored to a primitive index (-1 = sequence-level)."""
+
+    code: str
+    severity: Severity
+    primitive_index: int
+    message: str
+    axis: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def __str__(self) -> str:
+        where = f"@{self.primitive_index}" if self.primitive_index >= 0 else "@seq"
+        return f"{self.code}[{self.severity.name.lower()}]{where}: {self.message}"
+
+
+def make(code: str, primitive_index: int, message: str, axis: str = "") -> Diagnostic:
+    """Build a diagnostic with the severity implied by its code prefix."""
+    return Diagnostic(code, severity_of(code), primitive_index, message, axis)
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    return [d for d in diagnostics if d.is_error]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.is_error for d in diagnostics)
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    return "\n".join(str(d) for d in diagnostics) or "<clean>"
+
+
+def taxonomy_table() -> str:
+    """The taxonomy as a markdown table (kept in sync with DESIGN.md)."""
+    lines = ["| Code | Severity | Rule |", "|---|---|---|"]
+    for code, rule in CODES.items():
+        lines.append(f"| {code} | {severity_of(code).name.lower()} | {rule} |")
+    return "\n".join(lines)
+
+
+class InvalidScheduleError(Exception):
+    """Raised by fail-closed callers when a sequence has error diagnostics."""
+
+    def __init__(self, message: str, diagnostics: list[Diagnostic]):
+        super().__init__(f"{message}\n{format_diagnostics(diagnostics)}")
+        self.diagnostics = diagnostics
+
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "InvalidScheduleError",
+    "Severity",
+    "errors",
+    "format_diagnostics",
+    "has_errors",
+    "make",
+    "severity_of",
+    "taxonomy_table",
+]

@@ -1,0 +1,414 @@
+"""Static verification of schedule primitive sequences.
+
+Checks a primitive sequence against its subgraph *without* applying the
+schedule or simulating latency: per-primitive structural rules (E1xx), a
+whole-sequence dataflow pass over an axis-liveness lattice (E2xx), and
+performance-smell warnings (W3xx).  See ``repro.analysis.diagnostics`` for
+the code taxonomy.
+
+The liveness lattice tracks each axis name through
+``UNDEFINED -> LIVE -> CONSUMED``: subgraph axes start LIVE; SP/FSP and FU
+consume their inputs and define fresh axes; every other primitive may only
+reference LIVE axes.  The verifier never raises on bad input — it records
+diagnostics and recovers best-effort so one corrupt step does not mask
+later ones.  The contract with ``repro.tensorir.schedule`` (enforced by
+property tests) is: a sequence with zero error diagnostics always applies
+without exception.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.analysis.diagnostics import Diagnostic, InvalidScheduleError, errors, make
+from repro.tensorir.primitives import (
+    ANNOTATIONS,
+    GPU_BIND_PREFIX,
+    PRAGMAS,
+    Primitive,
+    PrimitiveKind,
+    fused_name,
+    split_names,
+)
+from repro.tensorir.schedule import Schedule, split_parts
+from repro.tensorir.subgraph import Subgraph
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Tunable thresholds for the structural rules and smell detectors."""
+
+    #: Max allowed ratio of padded iterations to the true extent for one
+    #: split (DESIGN.md §6: bounded padding keeps latency spreads sane).
+    pad_allowance: float = 0.25
+    #: Middle-loop extents >= this that are powers of two trigger W301
+    #: (they alias cache sets / shared-memory banks in ``repro.simhw``).
+    pow2_conflict_threshold: int = 64
+    #: ``auto_unroll_max_step`` values above this trigger W302.
+    max_auto_unroll: int = 512
+
+
+class _Liveness(Enum):
+    LIVE = "live"
+    CONSUMED = "consumed"
+
+
+@dataclass
+class _AxisState:
+    extent: int
+    is_reduction: bool
+    status: _Liveness = _Liveness.LIVE
+    defined_at: int = -1
+    consumed_at: int | None = None
+    kind_annotation: str = ""
+
+
+_ARITY = {
+    # kind -> (n_axes, min_ints, max_ints, needs_attr)
+    PrimitiveKind.SP: (1, 2, None, False),
+    PrimitiveKind.RE: (None, 0, 0, False),
+    PrimitiveKind.FU: (None, 0, 0, False),
+    PrimitiveKind.AN: (1, 0, 0, True),
+    PrimitiveKind.PR: (1, 1, 1, True),
+    PrimitiveKind.FSP: (1, 2, 2, False),
+    PrimitiveKind.CA: (1, 0, 0, False),
+    PrimitiveKind.CHW: (0, 0, 0, False),
+    PrimitiveKind.RF: (1, 0, 0, False),
+    PrimitiveKind.CI: (0, 0, 0, False),
+    PrimitiveKind.CP: (0, 0, 0, False),
+}
+
+
+class SequenceVerifier:
+    """Verifies one primitive sequence against a subgraph and target."""
+
+    def __init__(
+        self, subgraph: Subgraph, target: str = "cpu", config: VerifierConfig | None = None
+    ):
+        self.subgraph = subgraph
+        self.target = target
+        self.config = config or VerifierConfig()
+
+    def verify(self, primitives: tuple[Primitive, ...]) -> list[Diagnostic]:
+        self.diags: list[Diagnostic] = []
+        self.axes: dict[str, _AxisState] = {
+            a.name: _AxisState(a.extent, a.is_reduction) for a in self.subgraph.axes
+        }
+        self.order: list[str] = [a.name for a in self.subgraph.axes]
+        self.bound_tags: set[str] = set()
+        self.cache_write = False
+        self.compute_at = False
+        self.compute_root = False
+        self.rfactored = False
+        self._inlined_at: int | None = None
+        self.primitives = tuple(primitives)
+
+        for index, prim in enumerate(self.primitives):
+            kind = self._kind_of(prim, index)
+            if kind is None:
+                continue
+            if self._inlined_at is not None:
+                self._emit("E206", index, f"{kind.value} after compute-inline at step {self._inlined_at}")
+                break
+            if not self._check_arity(kind, prim, index):
+                continue
+            getattr(self, f"_visit_{kind.value.lower()}")(prim, index)
+        return self.diags
+
+    # -- plumbing -------------------------------------------------------
+
+    def _emit(self, code: str, index: int, message: str, axis: str = "") -> None:
+        self.diags.append(make(code, index, message, axis))
+
+    def _kind_of(self, prim: Primitive, index: int) -> PrimitiveKind | None:
+        try:
+            return PrimitiveKind(prim.kind)
+        except ValueError:
+            self._emit("E101", index, f"unknown primitive kind {prim.kind!r}")
+            return None
+
+    def _check_arity(self, kind: PrimitiveKind, prim: Primitive, index: int) -> bool:
+        n_axes, min_ints, max_ints, needs_attr = _ARITY[kind]
+        ok = True
+        if n_axes is not None and len(prim.axes) != n_axes:
+            self._emit("E101", index, f"{kind.value} expects {n_axes} axis, got {len(prim.axes)}")
+            ok = False
+        if len(prim.ints) < min_ints or (max_ints is not None and len(prim.ints) > max_ints):
+            self._emit("E101", index, f"{kind.value} has bad numeric arity {list(prim.ints)}")
+            ok = False
+        if needs_attr and not prim.attr:
+            self._emit("E101", index, f"{kind.value} requires an attr token")
+            ok = False
+        return ok
+
+    def _resolve(self, axis: str, index: int) -> _AxisState | None:
+        state = self.axes.get(axis)
+        if state is None:
+            self._emit("E201", index, f"axis {axis!r} was never defined", axis)
+            return None
+        if state.status is _Liveness.CONSUMED:
+            self._emit(
+                "E202",
+                index,
+                f"axis {axis!r} was consumed at step {state.consumed_at}",
+                axis,
+            )
+            return None
+        return state
+
+    def _consume(self, axis: str, index: int) -> None:
+        state = self.axes[axis]
+        state.status = _Liveness.CONSUMED
+        state.consumed_at = index
+        self.order.remove(axis)
+
+    def _define(self, axis: str, extent: int, is_reduction: bool, index: int, at: int) -> None:
+        if axis in self.axes:
+            self._emit("E203", index, f"axis {axis!r} defined twice", axis)
+            return
+        self.axes[axis] = _AxisState(extent, is_reduction, defined_at=index)
+        self.order.insert(at, axis)
+
+    # -- split family ---------------------------------------------------
+
+    def _visit_split(
+        self, prim: Primitive, index: int, factors: tuple[int, ...], check_factors: bool
+    ) -> None:
+        (axis,) = prim.axes
+        carried_extent = prim.ints[0]
+        if check_factors:
+            bad = [f for f in factors if not isinstance(f, int) or f < 1]
+            if bad:
+                self._emit("E102", index, f"split of {axis!r} has non-positive factors {bad}", axis)
+                return
+        state = self._resolve(axis, index)
+        if state is None:
+            return
+        if carried_extent != state.extent:
+            self._emit(
+                "E108",
+                index,
+                f"split of {axis!r} carries extent {carried_extent}, tracked extent is {state.extent}",
+                axis,
+            )
+        extent = state.extent
+        parts = split_parts(extent, factors)
+        padded = math.prod(parts)
+        if padded > extent * (1.0 + self.config.pad_allowance):
+            self._emit(
+                "E103",
+                index,
+                f"split of {axis!r} pads {extent} to {padded}, beyond the "
+                f"{self.config.pad_allowance:.0%} allowance",
+                axis,
+            )
+            return
+        for f in factors:
+            if f == 1 or f == extent:
+                self._emit("W303", index, f"degenerate split factor {f} on {axis!r}", axis)
+        for f in factors[:-1]:
+            if f >= self.config.pow2_conflict_threshold and (f & (f - 1)) == 0:
+                self._emit(
+                    "W301",
+                    index,
+                    f"middle-loop extent {f} on {axis!r} is a large power of two "
+                    "(cache-set / bank conflict smell)",
+                    axis,
+                )
+        at = self.order.index(axis)
+        self._consume(axis, index)
+        for offset, (name, part_extent) in enumerate(zip(split_names(axis, len(parts)), parts)):
+            self._define(name, part_extent, state.is_reduction, index, at + offset)
+
+    def _visit_sp(self, prim: Primitive, index: int) -> None:
+        self._visit_split(prim, index, tuple(prim.ints[1:]), check_factors=True)
+
+    def _visit_fsp(self, prim: Primitive, index: int) -> None:
+        (axis,) = prim.axes
+        src_step = prim.ints[1]
+        if not 0 <= src_step < len(self.primitives):
+            self._emit("E107", index, f"follow-split references missing step {src_step}", axis)
+            return
+        src = self.primitives[src_step]
+        if src.kind is not PrimitiveKind.SP or len(src.ints) < 2:
+            self._emit(
+                "E107", index, f"follow-split references step {src_step} which is not a split", axis
+            )
+            return
+        factors = tuple(src.ints[1:])
+        if any(not isinstance(f, int) or f < 1 for f in factors):
+            self._emit("E102", index, f"followed split has non-positive factors {factors}", axis)
+            return
+        self._visit_split(prim, index, factors, check_factors=False)
+
+    # -- order primitives -----------------------------------------------
+
+    def _visit_re(self, prim: Primitive, index: int) -> None:
+        named = list(prim.axes)
+        for axis in set(named):
+            self._resolve(axis, index)
+        if sorted(named) != sorted(self.order):
+            missing = sorted(set(self.order) - set(named))
+            extra = sorted(set(named) - set(self.order))
+            dupes = sorted({a for a in named if named.count(a) > 1})
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"extra {extra}")
+            if dupes:
+                detail.append(f"duplicated {dupes}")
+            self._emit(
+                "E104",
+                index,
+                f"reorder is not a permutation of the live order ({'; '.join(detail)})",
+            )
+            return
+        self.order = named
+
+    def _visit_fu(self, prim: Primitive, index: int) -> None:
+        named = list(prim.axes)
+        if len(named) < 2 or len(set(named)) != len(named):
+            self._emit("E109", index, f"fuse needs >=2 distinct axes, got {named}")
+            return
+        states = [self._resolve(a, index) for a in named]
+        if any(s is None for s in states):
+            return
+        positions = [self.order.index(a) for a in named]
+        if positions != list(range(positions[0], positions[0] + len(positions))):
+            self._emit("E109", index, f"fuse axes {named} are not adjacent in {self.order}")
+            return
+        extent = math.prod(s.extent for s in states)
+        is_reduction = any(s.is_reduction for s in states)
+        at = positions[0]
+        for a in named:
+            self._consume(a, index)
+        self._define(fused_name(tuple(named)), extent, is_reduction, index, at)
+
+    # -- annotation primitives ------------------------------------------
+
+    def _visit_an(self, prim: Primitive, index: int) -> None:
+        (axis,) = prim.axes
+        if prim.attr not in ANNOTATIONS:
+            self._emit("E105", index, f"unknown annotation {prim.attr!r}", axis)
+            return
+        is_bind = prim.attr.startswith(GPU_BIND_PREFIX)
+        if is_bind and self.target != "gpu":
+            self._emit(
+                "E106", index, f"GPU bind {prim.attr!r} under target {self.target!r}", axis
+            )
+            return
+        state = self._resolve(axis, index)
+        if state is None:
+            return
+        if state.kind_annotation:
+            self._emit(
+                "E205",
+                index,
+                f"axis {axis!r} already annotated {state.kind_annotation!r}",
+                axis,
+            )
+            return
+        if is_bind:
+            tag = prim.attr[len(GPU_BIND_PREFIX) :]
+            if tag in self.bound_tags:
+                self._emit("E205", index, f"thread tag {tag!r} bound twice", axis)
+                return
+            self.bound_tags.add(tag)
+        state.kind_annotation = prim.attr
+
+    def _visit_pr(self, prim: Primitive, index: int) -> None:
+        (axis,) = prim.axes
+        if prim.attr not in PRAGMAS:
+            self._emit("E105", index, f"unknown pragma {prim.attr!r}", axis)
+            return
+        if self._resolve(axis, index) is None:
+            return
+        if prim.attr == "auto_unroll_max_step" and prim.ints[0] > self.config.max_auto_unroll:
+            self._emit(
+                "W302",
+                index,
+                f"auto_unroll_max_step {prim.ints[0]} exceeds cap {self.config.max_auto_unroll}",
+                axis,
+            )
+
+    # -- stage primitives -----------------------------------------------
+
+    def _visit_ca(self, prim: Primitive, index: int) -> None:
+        (axis,) = prim.axes
+        if self._resolve(axis, index) is None:
+            return
+        self.compute_at = True
+
+    def _visit_chw(self, prim: Primitive, index: int) -> None:
+        self.cache_write = True
+
+    def _visit_rf(self, prim: Primitive, index: int) -> None:
+        (axis,) = prim.axes
+        state = self._resolve(axis, index)
+        if state is None:
+            return
+        if not state.is_reduction:
+            self._emit("E204", index, f"rfactor of non-reduction axis {axis!r}", axis)
+            return
+        self.rfactored = True
+
+    def _visit_ci(self, prim: Primitive, index: int) -> None:
+        conflicts = [
+            name
+            for name, flag in (
+                ("CHW", self.cache_write),
+                ("CA", self.compute_at),
+                ("CP", self.compute_root),
+                ("RF", self.rfactored),
+            )
+            if flag
+        ]
+        if conflicts:
+            self._emit("E206", index, f"compute-inline conflicts with {'/'.join(conflicts)}")
+            return
+        self._inlined_at = index
+
+    def _visit_cp(self, prim: Primitive, index: int) -> None:
+        self.compute_root = True
+
+
+def verify_sequence(
+    subgraph: Subgraph,
+    primitives: tuple[Primitive, ...],
+    target: str = "cpu",
+    config: VerifierConfig | None = None,
+) -> list[Diagnostic]:
+    """Statically verify a primitive sequence against a subgraph."""
+    return SequenceVerifier(subgraph, target, config).verify(tuple(primitives))
+
+
+def verify_schedule(schedule: Schedule, config: VerifierConfig | None = None) -> list[Diagnostic]:
+    """Statically verify a :class:`Schedule` (sequence + subgraph + target)."""
+    return verify_sequence(schedule.subgraph, schedule.primitives, schedule.target, config)
+
+
+def assert_valid(schedule: Schedule, config: VerifierConfig | None = None) -> list[Diagnostic]:
+    """Fail-closed gate: raise on any error diagnostic, return all diagnostics.
+
+    This is what the sampler (and later: dataset generation, autotuner
+    mutation) calls on every sequence before it is allowed downstream.
+    """
+    diags = verify_schedule(schedule, config)
+    bad = errors(diags)
+    if bad:
+        raise InvalidScheduleError(
+            f"schedule of {schedule.subgraph.name!r} failed static verification", bad
+        )
+    return diags
+
+
+__all__ = [
+    "SequenceVerifier",
+    "VerifierConfig",
+    "assert_valid",
+    "verify_schedule",
+    "verify_sequence",
+]

@@ -1,0 +1,175 @@
+"""Schedule primitives — the tokens of TLP's "tensor language".
+
+The 11 Ansor-style primitive kinds (DESIGN.md §3) with the same syntactic
+shape as Ansor's measure records: a kind tag, character parameters (axis
+names, annotation tokens) and numeric parameters (extents, split factors,
+step references).  TLP featurizes exactly this triple, so everything the
+cost model can ever know is carried here; the static verifier
+(``repro.analysis``) checks the sequence without applying it.
+
+Per DESIGN.md §6, SP primitives carry the extent of the axis they split —
+without it the features are non-identifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PrimitiveKind(str, Enum):
+    """The 11 schedule-primitive kinds."""
+
+    SP = "SP"  # split: axis -> (outer, factor loops...)
+    RE = "RE"  # reorder: complete permutation of the live loop order
+    FU = "FU"  # fuse: merge >=2 adjacent axes
+    AN = "AN"  # annotate: parallel / vectorize / unroll / GPU thread bind
+    PR = "PR"  # pragma: auto_unroll_max_step etc.
+    FSP = "FSP"  # follow split: reuse the factors of an earlier SP step
+    CA = "CA"  # compute-at: attach the stage under an axis
+    CHW = "CHW"  # cache write: add a write-cache stage
+    RF = "RF"  # rfactor: factor a reduction axis out
+    CI = "CI"  # compute inline
+    CP = "CP"  # compute root
+
+
+#: Loop-kind annotations (``AN`` attr values).  ``bind.*`` tokens are the
+#: GPU thread binds; the verifier rejects them under a non-GPU target.
+ANNOTATIONS: tuple[str, ...] = (
+    "parallel",
+    "vectorize",
+    "unroll",
+    "bind.blockIdx.x",
+    "bind.blockIdx.y",
+    "bind.threadIdx.x",
+    "bind.threadIdx.y",
+    "bind.vthread",
+)
+
+GPU_BIND_PREFIX = "bind."
+
+#: Pragma tokens (``PR`` attr values).
+PRAGMAS: tuple[str, ...] = ("auto_unroll_max_step", "unroll_explicit")
+
+#: Separator used in fused-axis names, mirroring Ansor ("i.0@j.0").
+FUSE_SEP = "@"
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One schedule transformation.
+
+    ``axes`` are the character parameters (axis names), ``ints`` the
+    numeric parameters, ``attr`` the annotation/pragma token.  Field use
+    per kind:
+
+    ===== ======================= ============================== ==========
+    kind  axes                    ints                           attr
+    ===== ======================= ============================== ==========
+    SP    (axis,)                 (extent, factor, factor, ...)  —
+    RE    full loop order         —                              —
+    FU    >=2 adjacent axes       —                              —
+    AN    (axis,)                 —                              annotation
+    PR    (axis,)                 (value,)                       pragma
+    FSP   (axis,)                 (extent, src_step_index)       —
+    CA    (axis,)                 —                              —
+    CHW   —                       —                              —
+    RF    (axis,)                 —                              —
+    CI    —                       —                              —
+    CP    —                       —                              —
+    ===== ======================= ============================== ==========
+    """
+
+    kind: PrimitiveKind
+    axes: tuple[str, ...] = field(default=())
+    ints: tuple[int, ...] = field(default=())
+    attr: str = ""
+
+    def __str__(self) -> str:
+        parts = [self.kind.value]
+        if self.axes:
+            parts.append(",".join(self.axes))
+        if self.ints:
+            parts.append(",".join(str(i) for i in self.ints))
+        if self.attr:
+            parts.append(self.attr)
+        return "(" + "; ".join(parts) + ")"
+
+
+def split_names(axis: str, n_parts: int) -> tuple[str, ...]:
+    """The axis names an SP/FSP with ``n_parts`` result loops defines."""
+    return tuple(f"{axis}.{i}" for i in range(n_parts))
+
+
+def fused_name(axes: tuple[str, ...] | list[str]) -> str:
+    return FUSE_SEP.join(axes)
+
+
+# -- convenience constructors -------------------------------------------------
+
+
+def split(axis: str, extent: int, factors: tuple[int, ...]) -> Primitive:
+    return Primitive(PrimitiveKind.SP, axes=(axis,), ints=(extent, *factors))
+
+
+def reorder(order: tuple[str, ...] | list[str]) -> Primitive:
+    return Primitive(PrimitiveKind.RE, axes=tuple(order))
+
+
+def fuse(axes: tuple[str, ...] | list[str]) -> Primitive:
+    return Primitive(PrimitiveKind.FU, axes=tuple(axes))
+
+
+def annotate(axis: str, annotation: str) -> Primitive:
+    return Primitive(PrimitiveKind.AN, axes=(axis,), attr=annotation)
+
+
+def pragma(axis: str, name: str, value: int) -> Primitive:
+    return Primitive(PrimitiveKind.PR, axes=(axis,), ints=(value,), attr=name)
+
+
+def follow_split(axis: str, extent: int, src_step: int) -> Primitive:
+    return Primitive(PrimitiveKind.FSP, axes=(axis,), ints=(extent, src_step))
+
+
+def compute_at(axis: str) -> Primitive:
+    return Primitive(PrimitiveKind.CA, axes=(axis,))
+
+
+def cache_write() -> Primitive:
+    return Primitive(PrimitiveKind.CHW)
+
+
+def rfactor(axis: str) -> Primitive:
+    return Primitive(PrimitiveKind.RF, axes=(axis,))
+
+
+def compute_inline() -> Primitive:
+    return Primitive(PrimitiveKind.CI)
+
+
+def compute_root() -> Primitive:
+    return Primitive(PrimitiveKind.CP)
+
+
+__all__ = [
+    "ANNOTATIONS",
+    "FUSE_SEP",
+    "GPU_BIND_PREFIX",
+    "PRAGMAS",
+    "Primitive",
+    "PrimitiveKind",
+    "annotate",
+    "cache_write",
+    "compute_at",
+    "compute_inline",
+    "compute_root",
+    "follow_split",
+    "fuse",
+    "fused_name",
+    "pragma",
+    "reorder",
+    "rfactor",
+    "split",
+    "split_names",
+]

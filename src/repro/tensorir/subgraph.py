@@ -1,0 +1,134 @@
+"""Computational subgraphs — the unit of auto-tuning.
+
+A :class:`Subgraph` is the minimal stand-in for an Ansor "task": a named
+iteration domain (spatial + reduction axes with integer extents) plus a
+per-point cost.  TLP never inspects the compute body — only the primitive
+sequence applied to it — so the iteration domain is the only structure the
+rest of the pipeline needs.  Richer compute DAGs (``compute.py``) plug in
+later without changing this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One loop axis of a subgraph's iteration domain."""
+
+    name: str
+    extent: int
+    is_reduction: bool = False
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise ValueError(f"axis {self.name!r} has non-positive extent {self.extent}")
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """A named iteration domain: spatial axes, reduction axes, point cost."""
+
+    name: str
+    axes: tuple[Axis, ...]
+    flops_per_point: int = 2
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate axis names in subgraph {self.name!r}: {names}")
+
+    @property
+    def spatial_axes(self) -> tuple[Axis, ...]:
+        return tuple(a for a in self.axes if not a.is_reduction)
+
+    @property
+    def reduction_axes(self) -> tuple[Axis, ...]:
+        return tuple(a for a in self.axes if a.is_reduction)
+
+    def axis(self, name: str) -> Axis:
+        for a in self.axes:
+            if a.name == name:
+                return a
+        raise KeyError(f"no axis {name!r} in subgraph {self.name!r}")
+
+    @property
+    def total_points(self) -> int:
+        total = 1
+        for a in self.axes:
+            total *= a.extent
+        return total
+
+
+def matmul_subgraph(m: int = 128, n: int = 128, k: int = 128) -> Subgraph:
+    """C[i, j] = sum_k A[i, k] * B[k, j]."""
+    return Subgraph(
+        name=f"matmul_{m}x{n}x{k}",
+        axes=(Axis("i", m), Axis("j", n), Axis("k", k, is_reduction=True)),
+        tags=("matmul",),
+    )
+
+
+def conv2d_subgraph(
+    h: int = 56, w: int = 56, co: int = 64, ci: int = 64, kh: int = 3, kw: int = 3
+) -> Subgraph:
+    """A conv2d iteration domain (batch folded into spatial height)."""
+    return Subgraph(
+        name=f"conv2d_{h}x{w}x{co}_k{kh}x{kw}x{ci}",
+        axes=(
+            Axis("h", h),
+            Axis("w", w),
+            Axis("co", co),
+            Axis("ci", ci, is_reduction=True),
+            Axis("kh", kh, is_reduction=True),
+            Axis("kw", kw, is_reduction=True),
+        ),
+        tags=("conv2d",),
+    )
+
+
+def elementwise_subgraph(n: int = 4096) -> Subgraph:
+    """A pointwise op (relu/add/...): one spatial axis, no reduction."""
+    return Subgraph(
+        name=f"elementwise_{n}",
+        axes=(Axis("i", n),),
+        flops_per_point=1,
+        tags=("elementwise",),
+    )
+
+
+def reduce_subgraph(n: int = 1024, r: int = 256) -> Subgraph:
+    """A row-reduction: softmax-denominator / pooling shaped domain."""
+    return Subgraph(
+        name=f"reduce_{n}x{r}",
+        axes=(Axis("i", n), Axis("r", r, is_reduction=True)),
+        flops_per_point=1,
+        tags=("reduce",),
+    )
+
+
+def sample_subgraph_pool() -> tuple[Subgraph, ...]:
+    """A small pool of representative subgraphs for tests and sampling."""
+    return (
+        matmul_subgraph(128, 128, 128),
+        matmul_subgraph(512, 64, 96),
+        conv2d_subgraph(28, 28, 128, 64),
+        conv2d_subgraph(14, 14, 256, 128, 1, 1),
+        elementwise_subgraph(4096),
+        reduce_subgraph(512, 384),
+    )
+
+
+__all__ = [
+    "Axis",
+    "Subgraph",
+    "conv2d_subgraph",
+    "elementwise_subgraph",
+    "matmul_subgraph",
+    "reduce_subgraph",
+    "sample_subgraph_pool",
+]

@@ -1,0 +1,8 @@
+"""Shared utilities: seeded RNG streams and structured logging."""
+
+from __future__ import annotations
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import ROOT_SEED, seed_for, stream
+
+__all__ = ["ROOT_SEED", "get_logger", "seed_for", "stream"]

@@ -1,0 +1,55 @@
+"""Structured logging helpers.
+
+A thin layer over stdlib ``logging``: one namespaced logger per subsystem,
+a compact ``key=value`` suffix format for structured fields, and a single
+idempotent handler installation so importing order does not duplicate
+output lines.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the logger for ``name`` under the ``repro`` namespace."""
+    _configure()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def kv(message: str, **fields: Any) -> str:
+    """Format a message with a structured ``key=value`` suffix.
+
+    >>> kv("verified", sequences=128, errors=0)
+    'verified | sequences=128 errors=0'
+    """
+    if not fields:
+        return message
+    suffix = " ".join(f"{k}={v}" for k, v in fields.items())
+    return f"{message} | {suffix}"
+
+
+__all__ = ["get_logger", "kv"]

@@ -1,0 +1,33 @@
+"""Shared fixtures: a canonical hand-written schedule and sampled pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tensorir import Schedule, matmul_subgraph
+from repro.tensorir import primitives as P
+
+
+@pytest.fixture()
+def matmul():
+    return matmul_subgraph(128, 128, 128)
+
+
+@pytest.fixture()
+def valid_schedule(matmul):
+    """A hand-written valid CPU schedule containing SP, RE, FU, AN, PR.
+
+    Tiling: i -> (4, 4, 8), j -> (4, 2, 16), k -> (4, 32); outer spatial
+    tiles fused + parallel, j.2 vectorized, unroll pragma on the fused loop.
+    """
+    prims = (
+        P.split("i", 128, (4, 8)),
+        P.split("j", 128, (2, 16)),
+        P.split("k", 128, (32,)),
+        P.reorder(("i.0", "j.0", "i.1", "j.1", "k.0", "i.2", "j.2", "k.1")),
+        P.fuse(("i.0", "j.0")),
+        P.annotate("i.0@j.0", "parallel"),
+        P.annotate("j.2", "vectorize"),
+        P.pragma("i.0@j.0", "auto_unroll_max_step", 16),
+    )
+    return Schedule(matmul, prims, target="cpu")

@@ -1,0 +1,142 @@
+"""Single-field corruptions of valid schedules, keyed by the diagnostic
+code the verifier must emit.  Shared by the unit tests (test_verifier)
+and the hypothesis property tests (test_property_verifier).
+
+Each mutator takes a valid :class:`Schedule` and returns a corrupted
+primitive tuple, or ``None`` when the corruption does not apply to that
+particular schedule (e.g. no reorder present to duplicate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.tensorir import Primitive, PrimitiveKind, Schedule
+from repro.tensorir import primitives as P
+
+Mutator = Callable[[Schedule], Optional[tuple[Primitive, ...]]]
+
+
+def _find(prims: tuple[Primitive, ...], kind: PrimitiveKind) -> int | None:
+    for i, p in enumerate(prims):
+        if p.kind is kind:
+            return i
+    return None
+
+
+def _insert(prims: tuple[Primitive, ...], at: int, prim: Primitive) -> tuple[Primitive, ...]:
+    return (*prims[:at], prim, *prims[at:])
+
+
+def _replace(prims: tuple[Primitive, ...], at: int, prim: Primitive) -> tuple[Primitive, ...]:
+    return (*prims[:at], prim, *prims[at + 1 :])
+
+
+def bad_arity(s: Schedule):
+    """CHW takes no axes; give it one."""
+    return _insert(s.primitives, 0, Primitive(PrimitiveKind.CHW, axes=("bogus",)))
+
+
+def zero_split_factor(s: Schedule):
+    i = _find(s.primitives, PrimitiveKind.SP)
+    if i is None:
+        return None
+    p = s.primitives[i]
+    return _replace(s.primitives, i, dataclasses.replace(p, ints=(p.ints[0], 0, *p.ints[2:])))
+
+
+def overflowing_split(s: Schedule):
+    """Factors whose product pads far beyond the allowance."""
+    i = _find(s.primitives, PrimitiveKind.SP)
+    if i is None:
+        return None
+    p = s.primitives[i]
+    extent = p.ints[0]
+    return _replace(s.primitives, i, dataclasses.replace(p, ints=(extent, extent, extent)))
+
+
+def duplicated_reorder_entry(s: Schedule):
+    i = _find(s.primitives, PrimitiveKind.RE)
+    if i is None:
+        return None
+    p = s.primitives[i]
+    if len(p.axes) < 2:
+        return None
+    return _replace(s.primitives, i, dataclasses.replace(p, axes=(*p.axes[:-1], p.axes[0])))
+
+
+def unknown_annotation(s: Schedule):
+    return _insert(s.primitives, 0, P.annotate(s.subgraph.axes[0].name, "spaghetti"))
+
+
+def gpu_bind_on_cpu(s: Schedule):
+    if s.target == "gpu":
+        return None
+    return _insert(s.primitives, 0, P.annotate(s.subgraph.axes[0].name, "bind.threadIdx.x"))
+
+
+def dangling_follow_split(s: Schedule):
+    axis = s.subgraph.axes[0]
+    return _insert(s.primitives, 0, P.follow_split(axis.name, axis.extent, 9999))
+
+
+def wrong_carried_extent(s: Schedule):
+    i = _find(s.primitives, PrimitiveKind.SP)
+    if i is None:
+        return None
+    p = s.primitives[i]
+    return _replace(s.primitives, i, dataclasses.replace(p, ints=(p.ints[0] + 1, *p.ints[1:])))
+
+
+def single_axis_fuse(s: Schedule):
+    return _insert(s.primitives, 0, Primitive(PrimitiveKind.FU, axes=(s.subgraph.axes[0].name,)))
+
+
+def undefined_axis(s: Schedule):
+    return _insert(s.primitives, 0, P.annotate("ghost_axis", "unroll"))
+
+
+def dead_axis(s: Schedule):
+    """Reference the original axis right after the split that consumed it."""
+    i = _find(s.primitives, PrimitiveKind.SP)
+    if i is None:
+        return None
+    return _insert(s.primitives, i + 1, P.annotate(s.primitives[i].axes[0], "unroll"))
+
+
+def rfactor_spatial(s: Schedule):
+    spatial = s.subgraph.spatial_axes
+    if not spatial:
+        return None
+    return _insert(s.primitives, 0, P.rfactor(spatial[0].name))
+
+
+def double_annotation(s: Schedule):
+    i = _find(s.primitives, PrimitiveKind.AN)
+    if i is None:
+        return None
+    return _insert(s.primitives, i + 1, s.primitives[i])
+
+
+def primitive_after_inline(s: Schedule):
+    return _insert(s.primitives, 0, P.compute_inline())
+
+
+#: (expected diagnostic code, corruption name, mutator)
+CORRUPTIONS: list[tuple[str, str, Mutator]] = [
+    ("E101", "bad_arity", bad_arity),
+    ("E102", "zero_split_factor", zero_split_factor),
+    ("E103", "overflowing_split", overflowing_split),
+    ("E104", "duplicated_reorder_entry", duplicated_reorder_entry),
+    ("E105", "unknown_annotation", unknown_annotation),
+    ("E106", "gpu_bind_on_cpu", gpu_bind_on_cpu),
+    ("E107", "dangling_follow_split", dangling_follow_split),
+    ("E108", "wrong_carried_extent", wrong_carried_extent),
+    ("E109", "single_axis_fuse", single_axis_fuse),
+    ("E201", "undefined_axis", undefined_axis),
+    ("E202", "dead_axis", dead_axis),
+    ("E204", "rfactor_spatial", rfactor_spatial),
+    ("E205", "double_annotation", double_annotation),
+    ("E206", "primitive_after_inline", primitive_after_inline),
+]

@@ -1,0 +1,70 @@
+"""repro.analysis.diagnostics — taxonomy and record semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    InvalidScheduleError,
+    Severity,
+    errors,
+    format_diagnostics,
+    has_errors,
+    make,
+    severity_of,
+    taxonomy_table,
+)
+
+
+def test_taxonomy_prefixes_map_to_severity():
+    for code in CODES:
+        expected = Severity.ERROR if code.startswith("E") else Severity.WARNING
+        assert severity_of(code) is expected
+
+
+def test_taxonomy_has_structural_dataflow_and_smell_tiers():
+    assert any(c.startswith("E1") for c in CODES)
+    assert any(c.startswith("E2") for c in CODES)
+    assert any(c.startswith("W3") for c in CODES)
+    # The acceptance bar: at least 6 distinct error codes exist to reject
+    # distinct corruption classes.
+    assert sum(1 for c in CODES if c.startswith("E")) >= 6
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic("E999", Severity.ERROR, 0, "nope")
+
+
+def test_make_and_filters():
+    e = make("E201", 3, "axis 'x' was never defined", axis="x")
+    w = make("W301", 5, "pow2 extent")
+    assert e.is_error and not w.is_error
+    assert errors([e, w]) == [e]
+    assert has_errors([w, e]) and not has_errors([w])
+    assert "E201" in str(e) and "@3" in str(e)
+    assert format_diagnostics([]) == "<clean>"
+
+
+def test_taxonomy_table_lists_every_code():
+    table = taxonomy_table()
+    for code in CODES:
+        assert code in table
+
+
+def test_design_doc_taxonomy_in_sync():
+    """DESIGN.md §8 must contain every taxonomy row verbatim."""
+    from pathlib import Path
+
+    design = (Path(__file__).resolve().parent.parent / "DESIGN.md").read_text()
+    for line in taxonomy_table().splitlines()[2:]:  # skip header rows
+        assert line in design, f"DESIGN.md is missing taxonomy row: {line}"
+
+
+def test_invalid_schedule_error_carries_diagnostics():
+    diags = [make("E103", 0, "padded too far")]
+    err = InvalidScheduleError("bad schedule", diags)
+    assert err.diagnostics == diags
+    assert "E103" in str(err)

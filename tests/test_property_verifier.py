@@ -1,0 +1,52 @@
+"""Hypothesis properties tying the verifier to the applier.
+
+1. Soundness of acceptance: any sampler-generated sequence the verifier
+   passes clean applies without exception.
+2. Sensitivity: any single-field corruption of a valid sequence is
+   flagged with the corruption's designated error code.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from corruptions import CORRUPTIONS
+from repro.analysis import has_errors, verify_sequence, verify_schedule
+from repro.tensorir import SketchConfig, SketchGenerator, sample_subgraph_pool
+from repro.utils.rng import stream
+
+_POOL = sample_subgraph_pool()
+
+
+@st.composite
+def schedules(draw):
+    sg = draw(st.sampled_from(_POOL))
+    target = draw(st.sampled_from(["cpu", "gpu"]))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = stream(f"property.{sg.name}.{target}.{seed}")
+    return SketchGenerator(SketchConfig(target=target)).generate(sg, rng)
+
+
+@settings(max_examples=80, deadline=None)
+@given(schedule=schedules())
+def test_verified_valid_sequences_always_apply(schedule):
+    diags = verify_schedule(schedule)
+    assert not has_errors(diags), [str(d) for d in diags]
+    nest = schedule.apply()  # must not raise
+    # Padding stays within the verifier's per-split allowance compounded
+    # over the (few) padded splits; a loose sanity bound.
+    if not nest.inlined:
+        assert nest.padding_ratio(schedule.subgraph.total_points) < 2.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(schedule=schedules(), corruption=st.sampled_from(CORRUPTIONS))
+def test_single_field_corruptions_are_flagged(schedule, corruption):
+    expected_code, name, mutator = corruption
+    mutated = mutator(schedule)
+    if mutated is None:  # corruption not applicable to this schedule shape
+        return
+    diags = verify_sequence(schedule.subgraph, mutated, schedule.target)
+    assert expected_code in {d.code for d in diags}, (
+        f"{name}: expected {expected_code}, got {[str(d) for d in diags]}"
+    )

@@ -1,0 +1,83 @@
+"""repro.analysis.selfcheck — the AST lint, run for real over src/."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import selfcheck
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def rules(violations):
+    return {v.rule for v in violations}
+
+
+def test_shipped_tree_is_clean():
+    violations = selfcheck.check_tree(SRC)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert selfcheck.main([str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_exits_two_on_missing_path():
+    assert selfcheck.main(["does/not/exist"]) == 2
+
+
+def test_sc101_flags_global_np_random():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert rules(selfcheck.check_source(src, "repro/tensorir/foo.py")) == {"SC101"}
+
+
+def test_sc101_flags_numpy_random_imports():
+    assert rules(
+        selfcheck.check_source("from numpy.random import default_rng\n", "repro/a.py")
+    ) == {"SC101"}
+    assert rules(
+        selfcheck.check_source("from numpy import random\n", "repro/a.py")
+    ) == {"SC101"}
+
+
+def test_sc101_allows_rng_module_and_generator_hints():
+    src = "import numpy as np\nx = np.random.default_rng(0)\n"
+    assert selfcheck.check_source(src, "src/repro/utils/rng.py") == []
+    hint = "import numpy as np\ndef f(rng: np.random.Generator) -> None: ...\n"
+    assert selfcheck.check_source(hint, "repro/tensorir/foo.py") == []
+
+
+def test_sc102_flags_mutable_defaults():
+    src = "def f(a, b=[], c={}):\n    return a\n"
+    found = selfcheck.check_source(src, "repro/x.py")
+    assert rules(found) == {"SC102"}
+    assert len(found) == 2
+    assert rules(selfcheck.check_source("def g(x=dict()):\n    return x\n", "repro/x.py")) == {
+        "SC102"
+    }
+
+
+def test_sc102_allows_immutable_defaults():
+    src = "def f(a=1, b=(), c='x', d=None):\n    return a\n"
+    assert selfcheck.check_source(src, "repro/x.py") == []
+
+
+def test_sc103_flags_float64_in_compute_paths_only():
+    src = "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n"
+    assert rules(selfcheck.check_source(src, "repro/nn/layers.py")) == {"SC103"}
+    assert rules(selfcheck.check_source(src, "repro/core/model.py")) == {"SC103"}
+    assert selfcheck.check_source(src, "repro/dataset/io.py") == []
+    literal = "x = {'dtype': 'float64'}\n"
+    assert rules(selfcheck.check_source(literal, "repro/simhw/cpu.py")) == {"SC103"}
+
+
+def test_suppression_token():
+    src = "import numpy as np\nx = np.random.rand(3)  # selfcheck: allow\n"
+    assert selfcheck.check_source(src, "repro/x.py") == []
+
+
+def test_unparseable_file_is_reported():
+    found = selfcheck.check_source("def broken(:\n", "repro/x.py")
+    assert len(found) == 1 and "unparseable" in found[0].message
