@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint bench check
+.PHONY: test lint bench bench-save check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,5 +12,8 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-save:
+	$(PYTHON) benchmarks/bench_save.py
 
 check: lint test

@@ -1,16 +1,22 @@
-"""Micro-benchmarks of the performance-critical building blocks.
+"""Micro-benchmarks of the still-unbuilt simulated-hardware comparisons.
 
 The headline micro-comparison mirrors Figure 10's mechanism: TLP feature
 extraction reads the primitive sequence directly, while Ansor/TenSet
 feature extraction must first lower the schedule to a tensor program —
 so the TLP pipeline is measurably faster per candidate.
+
+The extractor-only benchmarks live in ``bench_extractor.py`` and run
+today; this module keeps the comparisons that need ``repro.simhw``,
+``repro.workloads``, ``repro.baselines`` and the TLP model, and stays
+import-gated (see ``conftest.py``) until those subsystems land.
 """
 
 import numpy as np
 import pytest
 
 from repro.baselines import extract_features_batch
-from repro.core import PostprocessConfig, TLPConfig, TLPFeaturizer, TLPModel
+from repro.core import PostprocessConfig, TLPFeaturizer
+from repro.core.tlp_model import TLPConfig, TLPModel
 from repro.simhw import get_platform, program_latency
 from repro.tensorir import SketchConfig, SketchGenerator
 from repro.workloads import build_network
@@ -21,14 +27,7 @@ def schedules():
     subgraph = build_network("resnet50")[2]
     gen = SketchGenerator(SketchConfig("cpu"))
     rng = np.random.default_rng(0)
-    return [gen.generate(subgraph, rng) for _ in range(64)]
-
-
-def test_tlp_feature_extraction(benchmark, schedules):
-    featurizer = TLPFeaturizer(PostprocessConfig())
-    featurizer.fit(schedules)
-    X, M = benchmark(featurizer.transform, schedules)
-    assert X.shape[0] == 64
+    return gen.generate_many(subgraph, 64, rng)
 
 
 def test_ansor_feature_extraction(benchmark, schedules):

@@ -1,0 +1,101 @@
+"""Measure the feature-pipeline perf numbers and write the trajectory file.
+
+``make bench-save`` runs this script; it times the extractor and batch
+verifier on a 1,024-sequence batch with ``repro.utils.timer`` and writes
+``BENCH_feature_pipeline.json`` at the repo root — the committed perf
+trajectory that future PRs extend (regressions show up as diffs).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.verifier import verify_many, verify_sequence  # noqa: E402
+from repro.core import PostprocessConfig, TLPFeaturizer, reference_transform  # noqa: E402
+from repro.tensorir import SketchConfig, SketchGenerator, matmul_subgraph  # noqa: E402
+from repro.utils.rng import stream  # noqa: E402
+from repro.utils.timer import Timer, best_of, format_seconds  # noqa: E402
+
+BATCH = 1024
+REPEATS = 5
+OUT_PATH = REPO_ROOT / "BENCH_feature_pipeline.json"
+
+
+def main() -> int:
+    gen = SketchGenerator(SketchConfig("cpu"))
+    subgraph = matmul_subgraph(128, 128, 128)
+    with Timer() as t_sample:
+        corpus = gen.generate_many(subgraph, BATCH, stream("bench.extractor"))
+    sequences = [s.primitives for s in corpus]
+
+    fitted = TLPFeaturizer(PostprocessConfig())
+    with Timer() as t_fit:
+        fitted.fit(corpus)
+
+    # Cold: fresh featurizer per run — row memo and LRU both empty.
+    def cold_once() -> None:
+        featurizer = TLPFeaturizer(PostprocessConfig(), cache_size=0)
+        featurizer.vocab_ = fitted.vocab_
+        featurizer.raw_width_ = fitted.raw_width_
+        featurizer.transform(corpus)
+
+    t_cold = best_of(cold_once, REPEATS)
+
+    # Steady: row memo warm, sequence LRU off (round >= 2 of a search).
+    uncached = TLPFeaturizer(PostprocessConfig(), cache_size=0).fit(corpus)
+    uncached.transform(corpus)
+    t_steady = best_of(lambda: uncached.transform(corpus), REPEATS)
+
+    # Warm: sequence LRU hit on every re-query.
+    fitted.transform(corpus)
+    t_warm = best_of(lambda: fitted.transform(corpus), REPEATS)
+
+    t_reference = best_of(lambda: reference_transform(fitted, corpus), REPEATS)
+
+    t_verify_loop = best_of(
+        lambda: [verify_sequence(subgraph, seq) for seq in sequences], REPEATS
+    )
+    t_verify_many = best_of(lambda: verify_many(subgraph, sequences), REPEATS)
+
+    report = {
+        "benchmark": "feature_pipeline",
+        "batch": BATCH,
+        "subgraph": subgraph.name,
+        "mean_sequence_length": sum(len(s) for s in sequences) / len(sequences),
+        "feature_shape": [fitted.config.seq_len, fitted.config.emb],
+        "raw_width": fitted.raw_width_,
+        "timings_ms": {
+            "sample_and_batch_verify": round(t_sample.elapsed * 1e3, 3),
+            "fit": round(t_fit.elapsed * 1e3, 3),
+            "transform_reference": round(t_reference * 1e3, 3),
+            "transform_cold": round(t_cold * 1e3, 3),
+            "transform_steady": round(t_steady * 1e3, 3),
+            "transform_warm_lru": round(t_warm * 1e3, 3),
+            "verify_loop": round(t_verify_loop * 1e3, 3),
+            "verify_many": round(t_verify_many * 1e3, 3),
+        },
+        "speedups": {
+            "transform_cold_vs_reference": round(t_reference / t_cold, 2),
+            "transform_steady_vs_reference": round(t_reference / t_steady, 2),
+            "transform_warm_vs_reference": round(t_reference / t_warm, 2),
+            "verify_many_vs_loop": round(t_verify_loop / t_verify_many, 2),
+        },
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {OUT_PATH}")
+    for name, ms in report["timings_ms"].items():
+        print(f"  {name:>24}: {format_seconds(ms / 1e3)}")
+    for name, ratio in report["speedups"].items():
+        print(f"  {name:>32}: {ratio}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,13 @@
 Subsystems land incrementally (see DESIGN.md §3 for the full inventory).
 Currently present:
 
-* ``repro.utils``    — seeded RNG streams, structured logging.
+* ``repro.utils``    — seeded RNG streams, structured logging, timers.
 * ``repro.tensorir`` — subgraphs, loop-nest IR, the 11 Ansor-style schedule
   primitive kinds, a schedule applier, sketch rules and a random sampler.
 * ``repro.analysis`` — static verification of primitive sequences
   (no schedule application, no latency simulation) plus a repo self-lint.
+* ``repro.core``     — TLP feature extraction: batch-first featurizer over
+  primitive sequences (Fig. 4/5) with Table 4 crop/pad.
 """
 
 from __future__ import annotations
@@ -18,9 +20,11 @@ from repro.analysis import (
     Diagnostic,
     InvalidScheduleError,
     Severity,
+    verify_many,
     verify_schedule,
     verify_sequence,
 )
+from repro.core import PostprocessConfig, TLPFeaturizer
 from repro.tensorir import (
     Axis,
     Loop,
@@ -45,6 +49,7 @@ __all__ = [
     "Loop",
     "LoopKind",
     "LoopNest",
+    "PostprocessConfig",
     "Primitive",
     "PrimitiveKind",
     "Schedule",
@@ -54,7 +59,9 @@ __all__ = [
     "SketchConfig",
     "SketchGenerator",
     "Subgraph",
+    "TLPFeaturizer",
     "sample_schedule",
+    "verify_many",
     "verify_schedule",
     "verify_sequence",
 ]

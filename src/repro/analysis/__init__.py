@@ -24,6 +24,8 @@ from repro.analysis.verifier import (
     SequenceVerifier,
     VerifierConfig,
     assert_valid,
+    assert_valid_many,
+    verify_many,
     verify_schedule,
     verify_sequence,
 )
@@ -36,10 +38,12 @@ __all__ = [
     "Severity",
     "VerifierConfig",
     "assert_valid",
+    "assert_valid_many",
     "errors",
     "format_diagnostics",
     "has_errors",
     "taxonomy_table",
+    "verify_many",
     "verify_schedule",
     "verify_sequence",
 ]

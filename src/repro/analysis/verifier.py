@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Iterable, Sequence
 
 from repro.analysis.diagnostics import Diagnostic, InvalidScheduleError, errors, make
 from repro.tensorir.primitives import (
@@ -32,7 +33,7 @@ from repro.tensorir.primitives import (
     fused_name,
     split_names,
 )
-from repro.tensorir.schedule import Schedule, split_parts
+from repro.tensorir.schedule import PAD_ALLOWANCE, Schedule, split_parts
 from repro.tensorir.subgraph import Subgraph
 
 
@@ -42,7 +43,9 @@ class VerifierConfig:
 
     #: Max allowed ratio of padded iterations to the true extent for one
     #: split (DESIGN.md §6: bounded padding keeps latency spreads sane).
-    pad_allowance: float = 0.25
+    #: Defaults to the same constant the sampler's by-construction check
+    #: uses, so the two cannot drift.
+    pad_allowance: float = PAD_ALLOWANCE
     #: Middle-loop extents >= this that are powers of two trigger W301
     #: (they alias cache sets / shared-memory banks in ``repro.simhw``).
     pow2_conflict_threshold: int = 64
@@ -80,9 +83,20 @@ _ARITY = {
     PrimitiveKind.CP: (0, 0, 0, False),
 }
 
+#: ``PrimitiveKind`` is a str enum, so this resolves both enum members and
+#: raw kind strings in one dict probe — no try/except per primitive.
+_KIND_BY_VALUE: dict[str, PrimitiveKind] = {k.value: k for k in PrimitiveKind}
+
 
 class SequenceVerifier:
-    """Verifies one primitive sequence against a subgraph and target."""
+    """Verifies primitive sequences against one subgraph and target.
+
+    One instance is reusable across sequences: the per-kind visit dispatch
+    and the subgraph's initial axis table are precomputed at construction,
+    and :meth:`verify` resets only the per-sequence state.  That is what
+    makes :func:`verify_many` cheaper than constructing a verifier per
+    sequence in a Python loop.
+    """
 
     def __init__(
         self, subgraph: Subgraph, target: str = "cpu", config: VerifierConfig | None = None
@@ -90,13 +104,17 @@ class SequenceVerifier:
         self.subgraph = subgraph
         self.target = target
         self.config = config or VerifierConfig()
+        self._dispatch = {
+            kind: getattr(self, f"_visit_{kind.value.lower()}") for kind in PrimitiveKind
+        }
+        self._axis_init = tuple((a.name, a.extent, a.is_reduction) for a in subgraph.axes)
 
-    def verify(self, primitives: tuple[Primitive, ...]) -> list[Diagnostic]:
+    def _reset(self, primitives: tuple[Primitive, ...]) -> None:
         self.diags: list[Diagnostic] = []
         self.axes: dict[str, _AxisState] = {
-            a.name: _AxisState(a.extent, a.is_reduction) for a in self.subgraph.axes
+            name: _AxisState(extent, is_red) for name, extent, is_red in self._axis_init
         }
-        self.order: list[str] = [a.name for a in self.subgraph.axes]
+        self.order: list[str] = [name for name, _, _ in self._axis_init]
         self.bound_tags: set[str] = set()
         self.cache_write = False
         self.compute_at = False
@@ -105,29 +123,38 @@ class SequenceVerifier:
         self._inlined_at: int | None = None
         self.primitives = tuple(primitives)
 
+    def verify(
+        self, primitives: tuple[Primitive, ...], *, stop_on_error: bool = False
+    ) -> list[Diagnostic]:
+        """Verify one sequence, returning its diagnostics.
+
+        With ``stop_on_error`` the pass returns after the first primitive
+        that produced an error diagnostic — the hot-path mode for callers
+        that only gate on validity (warnings before the stop are kept).
+        """
+        self._reset(primitives)
+        diags = self.diags
+        dispatch = self._dispatch
         for index, prim in enumerate(self.primitives):
-            kind = self._kind_of(prim, index)
+            checkpoint = len(diags)
+            kind = _KIND_BY_VALUE.get(prim.kind)
             if kind is None:
-                continue
-            if self._inlined_at is not None:
-                self._emit("E206", index, f"{kind.value} after compute-inline at step {self._inlined_at}")
+                self._emit("E101", index, f"unknown primitive kind {prim.kind!r}")
+            elif self._inlined_at is not None:
+                self._emit(
+                    "E206", index, f"{kind.value} after compute-inline at step {self._inlined_at}"
+                )
                 break
-            if not self._check_arity(kind, prim, index):
-                continue
-            getattr(self, f"_visit_{kind.value.lower()}")(prim, index)
-        return self.diags
+            elif self._check_arity(kind, prim, index):
+                dispatch[kind](prim, index)
+            if stop_on_error and any(d.is_error for d in diags[checkpoint:]):
+                break
+        return diags
 
     # -- plumbing -------------------------------------------------------
 
     def _emit(self, code: str, index: int, message: str, axis: str = "") -> None:
         self.diags.append(make(code, index, message, axis))
-
-    def _kind_of(self, prim: Primitive, index: int) -> PrimitiveKind | None:
-        try:
-            return PrimitiveKind(prim.kind)
-        except ValueError:
-            self._emit("E101", index, f"unknown primitive kind {prim.kind!r}")
-            return None
 
     def _check_arity(self, kind: PrimitiveKind, prim: Primitive, index: int) -> bool:
         n_axes, min_ints, max_ints, needs_attr = _ARITY[kind]
@@ -385,6 +412,28 @@ def verify_sequence(
     return SequenceVerifier(subgraph, target, config).verify(tuple(primitives))
 
 
+def verify_many(
+    subgraph: Subgraph,
+    sequences: "Iterable[tuple[Primitive, ...]]",
+    target: str = "cpu",
+    config: VerifierConfig | None = None,
+    *,
+    stop_on_error: bool = False,
+) -> list[list[Diagnostic]]:
+    """Verify a batch of sequences against one subgraph and target.
+
+    Beats a Python loop of :func:`verify_sequence` by constructing the
+    verifier (visit dispatch + initial axis table) once and resetting it
+    per sequence; ``stop_on_error`` additionally early-exits each sequence
+    at its first error — the screening mode for batch producers that only
+    gate on validity.
+    """
+    verifier = SequenceVerifier(subgraph, target, config)
+    return [
+        verifier.verify(tuple(seq), stop_on_error=stop_on_error) for seq in sequences
+    ]
+
+
 def verify_schedule(schedule: Schedule, config: VerifierConfig | None = None) -> list[Diagnostic]:
     """Statically verify a :class:`Schedule` (sequence + subgraph + target)."""
     return verify_sequence(schedule.subgraph, schedule.primitives, schedule.target, config)
@@ -405,10 +454,41 @@ def assert_valid(schedule: Schedule, config: VerifierConfig | None = None) -> li
     return diags
 
 
+def assert_valid_many(
+    schedules: Sequence[Schedule], config: VerifierConfig | None = None
+) -> list[list[Diagnostic]]:
+    """Fail-closed gate over a batch: one verifier pass, raise on any error.
+
+    The batch analogue of :func:`assert_valid` — what the sketch
+    generator's batch sampling calls, so producing N schedules costs one
+    verifier construction per (subgraph, target) run instead of N.
+    Sequences are screened with per-sequence early exit; warnings on
+    sequences before the failing one are still returned.
+    """
+    all_diags: list[list[Diagnostic]] = []
+    verifier: SequenceVerifier | None = None
+    key: tuple[int, str] | None = None
+    for schedule in schedules:
+        k = (id(schedule.subgraph), schedule.target)
+        if verifier is None or k != key:
+            verifier = SequenceVerifier(schedule.subgraph, schedule.target, config)
+            key = k
+        diags = verifier.verify(schedule.primitives, stop_on_error=True)
+        bad = errors(diags)
+        if bad:
+            raise InvalidScheduleError(
+                f"schedule of {schedule.subgraph.name!r} failed static verification", bad
+            )
+        all_diags.append(diags)
+    return all_diags
+
+
 __all__ = [
     "SequenceVerifier",
     "VerifierConfig",
     "assert_valid",
+    "assert_valid_many",
+    "verify_many",
     "verify_schedule",
     "verify_sequence",
 ]

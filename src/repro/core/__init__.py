@@ -1,0 +1,51 @@
+"""TLP's contribution: featurize the schedule sequence, not the program.
+
+The paper's core mechanism — and the first slice of the ``core``
+subsystem (DESIGN.md §3) to land: feature extraction from primitive
+sequences (Fig. 4/5) with the Table 4 crop/pad geometry.  The TLP model,
+MTL heads, trainers and metrics arrive in later PRs.
+
+* ``abstract_primitive`` — canonical per-kind (one-hot ++ char tokens ++
+  numerics) layout shared by every extractor implementation.
+* ``extractor`` — :class:`TLPFeaturizer`: vocabulary fitting and
+  vectorized, cached, batch-first ``transform``.
+* ``extractor_reference`` — the deliberately naive per-primitive oracle
+  and benchmark baseline.
+* ``postprocess`` — Table 4 ``seq_len x emb`` crop/pad.
+"""
+
+from __future__ import annotations
+
+from repro.core.abstract_primitive import (
+    KIND_INDEX,
+    KIND_ORDER,
+    N_KINDS,
+    AbstractPrimitive,
+    abstract,
+)
+from repro.core.extractor import PAD_ID, UNK_ID, TLPFeaturizer
+from repro.core.extractor_reference import reference_transform
+from repro.core.postprocess import (
+    TABLE4_CROPPED,
+    TABLE4_UNCROPPED,
+    PostprocessConfig,
+    crop_pad,
+    crop_pad_batch,
+)
+
+__all__ = [
+    "KIND_INDEX",
+    "KIND_ORDER",
+    "N_KINDS",
+    "PAD_ID",
+    "TABLE4_CROPPED",
+    "TABLE4_UNCROPPED",
+    "UNK_ID",
+    "AbstractPrimitive",
+    "PostprocessConfig",
+    "TLPFeaturizer",
+    "abstract",
+    "crop_pad",
+    "crop_pad_batch",
+    "reference_transform",
+]

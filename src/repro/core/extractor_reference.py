@@ -1,0 +1,73 @@
+"""Deliberately naive per-primitive feature extraction — the oracle.
+
+This is the straightforward reading of TLP's Fig. 4: one Python feature
+list per primitive, one array per sequence, explicit Table 4 crop/pad at
+the end.  It exists for two reasons and must stay slow-but-obvious:
+
+* **Correctness oracle** — property tests pin the batch extractor's
+  output to be bit-identical to this implementation on the same fitted
+  vocabulary.
+* **Benchmark baseline** — ``benchmarks/bench_extractor.py`` and the
+  ``BENCH_feature_pipeline.json`` trajectory measure the vectorized
+  pipeline's speedup against it.
+
+Do not optimize this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.abstract_primitive import N_KINDS, abstract
+from repro.core.extractor import UNK_ID, SequenceLike, TLPFeaturizer, _primitives_of
+from repro.core.postprocess import crop_pad_batch
+from repro.tensorir.primitives import Primitive
+
+
+def encode_primitive_naive(
+    prim: Primitive, vocab: dict[str, int], pad_to: int
+) -> list[float]:
+    """One primitive's full-width (uncropped) feature row as a list."""
+    ap = abstract(prim)
+    one_hot = [0.0] * N_KINDS
+    one_hot[ap.kind_index] = 1.0
+    char_tokens = [float(vocab.get(ch, UNK_ID)) for ch in ap.chars]
+    numerics = [float(v) for v in ap.numerics]
+    row = one_hot + char_tokens + numerics
+    row.extend(0.0 for _ in range(pad_to - len(row)))
+    return row
+
+
+def reference_transform(
+    featurizer: TLPFeaturizer, sequences: Sequence[SequenceLike]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Naive re-implementation of ``featurizer.transform``.
+
+    Uses the featurizer's fitted vocabulary and geometry but none of its
+    caches or preallocation: every primitive is re-tokenized into fresh
+    Python lists, every sequence is stacked and crop/padded on its own.
+    Output is bit-identical to the vectorized path.
+    """
+    if not featurizer.is_fitted:
+        raise RuntimeError("reference_transform needs a fitted featurizer")
+    vocab = featurizer.vocab_
+    batch_rows: list[np.ndarray] = []
+    for seq in sequences:
+        prims = _primitives_of(seq)
+        # Rows are ragged when a sequence exceeds the fitted corpus's
+        # widths; pad to the widest row so the stack stays rectangular.
+        width = max(
+            [featurizer.raw_width_]
+            + [N_KINDS + abstract(p).payload_length for p in prims]
+        )
+        rows = [encode_primitive_naive(p, vocab, width) for p in prims]
+        if rows:
+            batch_rows.append(np.asarray(rows, dtype=np.float32))
+        else:
+            batch_rows.append(np.zeros((0, width), dtype=np.float32))
+    return crop_pad_batch(batch_rows, featurizer.config)
+
+
+__all__ = ["encode_primitive_naive", "reference_transform"]

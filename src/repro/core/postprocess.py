@@ -1,0 +1,78 @@
+"""Table 4 feature-tensor cropping and padding.
+
+TLP fixes the model input to a configurable ``seq_len x emb`` window:
+sequences longer than ``seq_len`` keep their first ``seq_len`` primitives,
+feature rows wider than ``emb`` keep their first ``emb`` entries, and
+shorter/narrower content is zero-padded.  The paper's Table 4 sweeps the
+two sizes and lands on 25x22 (54x40 is the uncropped upper bound on the
+TenSet CPU data); both are pinned here as named configs.
+
+Cropping is prefix-preserving by construction: ``out[:l, :e]`` is
+bit-identical to the raw rows for ``l = min(len, seq_len)``,
+``e = min(width, emb)`` — the property tests key on exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PostprocessConfig:
+    """Cropped feature-tensor geometry (Table 4)."""
+
+    #: Primitive-sequence window: longer sequences are truncated, shorter
+    #: ones zero-padded (and masked out).
+    seq_len: int = 25
+    #: Per-primitive embedding width after cropping.
+    emb: int = 22
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1 or self.emb < 1:
+            raise ValueError(f"degenerate feature geometry {self.seq_len}x{self.emb}")
+
+
+#: The two Table 4 corner configs: the paper's pick and the uncropped bound.
+TABLE4_CROPPED = PostprocessConfig(seq_len=25, emb=22)
+TABLE4_UNCROPPED = PostprocessConfig(seq_len=54, emb=40)
+
+
+def crop_pad(rows: np.ndarray, config: PostprocessConfig) -> tuple[np.ndarray, int]:
+    """Crop/pad one sequence's raw feature rows to ``seq_len x emb``.
+
+    ``rows`` is a ``[length, raw_width]`` float32 array; returns the
+    ``[seq_len, emb]`` window plus the number of real (unpadded) rows.
+    """
+    kept_rows = min(rows.shape[0], config.seq_len)
+    kept_cols = min(rows.shape[1], config.emb)
+    out = np.zeros((config.seq_len, config.emb), dtype=np.float32)
+    out[:kept_rows, :kept_cols] = rows[:kept_rows, :kept_cols]
+    return out, kept_rows
+
+
+def crop_pad_batch(
+    batch_rows: "list[np.ndarray]", config: PostprocessConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Crop/pad a batch of raw row arrays into ``(X, mask)``.
+
+    ``X`` is ``[N, seq_len, emb]`` float32; ``mask`` is ``[N, seq_len]``
+    float32 with 1.0 on real primitive rows and 0.0 on padding.
+    """
+    X = np.zeros((len(batch_rows), config.seq_len, config.emb), dtype=np.float32)
+    mask = np.zeros((len(batch_rows), config.seq_len), dtype=np.float32)
+    for i, rows in enumerate(batch_rows):
+        cropped, kept = crop_pad(rows, config)
+        X[i] = cropped
+        mask[i, :kept] = 1.0
+    return X, mask
+
+
+__all__ = [
+    "TABLE4_CROPPED",
+    "TABLE4_UNCROPPED",
+    "PostprocessConfig",
+    "crop_pad",
+    "crop_pad_batch",
+]

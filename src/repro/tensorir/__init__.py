@@ -18,7 +18,7 @@ from repro.tensorir.primitives import (
     PrimitiveKind,
 )
 from repro.tensorir.sampler import ScheduleSampler, divisors, sample_schedule
-from repro.tensorir.schedule import Schedule, ScheduleError, split_parts
+from repro.tensorir.schedule import PAD_ALLOWANCE, Schedule, ScheduleError, split_parts
 from repro.tensorir.sketch import SketchConfig, SketchGenerator
 from repro.tensorir.subgraph import (
     Axis,
@@ -34,6 +34,7 @@ __all__ = [
     "ANNOTATIONS",
     "ANNOTATION_KINDS",
     "Axis",
+    "PAD_ALLOWANCE",
     "Loop",
     "LoopKind",
     "LoopNest",

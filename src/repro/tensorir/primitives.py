@@ -85,6 +85,17 @@ class Primitive:
     ints: tuple[int, ...] = field(default=())
     attr: str = ""
 
+    def __hash__(self) -> int:
+        # Computed lazily and cached: primitives key the feature
+        # extractor's row memo and sequence LRU (repro.core.extractor),
+        # where re-hashing the field tuple on every probe dominated the
+        # batch hot path.  Frozen dataclasses permit the setattr bypass.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.kind, self.axes, self.ints, self.attr))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __str__(self) -> str:
         parts = [self.kind.value]
         if self.axes:

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.tensorir import primitives as P
 from repro.tensorir.primitives import Primitive
-from repro.tensorir.schedule import Schedule, split_parts
+from repro.tensorir.schedule import PAD_ALLOWANCE, Schedule, split_parts
 from repro.tensorir.sketch import SketchConfig
 from repro.tensorir.subgraph import Subgraph
 
@@ -75,7 +75,7 @@ class ScheduleSampler:
             padded_factors = list(factors)
             padded_factors[bump] += 1
             padded = int(np.prod(split_parts(extent, tuple(padded_factors)), dtype=np.int64))
-            if padded <= extent * 1.25:  # the verifier's default pad allowance
+            if padded <= extent * (1.0 + PAD_ALLOWANCE):
                 factors = padded_factors
         return tuple(factors)
 

@@ -29,6 +29,13 @@ class ScheduleError(Exception):
     """A primitive could not be applied to the current loop nest."""
 
 
+#: Max allowed ratio of padded iterations to the true extent for one split
+#: (DESIGN.md §6: bounded padding keeps intra-task latency spreads sane).
+#: Shared by the sampler's by-construction check and the verifier's E103
+#: rule so the two can never drift apart.
+PAD_ALLOWANCE: float = 0.25
+
+
 def split_parts(extent: int, factors: tuple[int, ...]) -> tuple[int, ...]:
     """Extents of the loops produced by splitting ``extent`` by ``factors``.
 
@@ -216,4 +223,4 @@ class _Applier:
         self.nest.compute_root = True
 
 
-__all__ = ["Schedule", "ScheduleError", "split_parts"]
+__all__ = ["PAD_ALLOWANCE", "Schedule", "ScheduleError", "split_parts"]

@@ -59,14 +59,30 @@ class SketchGenerator:
         sampler, and letting it through would poison every downstream
         dataset record (see ISSUE/DESIGN motivation).
         """
+        return self.generate_many(subgraph, 1, rng)[0]
+
+    def generate_many(
+        self, subgraph: Subgraph, n: int, rng: np.random.Generator
+    ) -> list[Schedule]:
+        """Sample ``n`` schedules, verified fail-closed in one batch pass.
+
+        The sampler constructs sequences that are valid by definition of
+        its own bookkeeping, so verification is a guard against sampler
+        bugs, not a filter: it runs once over the whole batch
+        (``repro.analysis.assert_valid_many`` reuses a single verifier and
+        early-exits each sequence) instead of constructing a fresh
+        verifier per sample.  Equivalent to ``n`` :meth:`generate` calls
+        on the same ``rng`` stream, just cheaper.
+        """
         # Imported lazily: repro.analysis imports repro.tensorir submodules,
         # so a module-level import here would be circular during package init.
-        from repro.analysis.verifier import assert_valid
+        from repro.analysis.verifier import assert_valid_many
         from repro.tensorir.sampler import ScheduleSampler
 
-        schedule = ScheduleSampler(self.config).sample(subgraph, rng)
-        assert_valid(schedule)
-        return schedule
+        sampler = ScheduleSampler(self.config)
+        schedules = [sampler.sample(subgraph, rng) for _ in range(n)]
+        assert_valid_many(schedules)
+        return schedules
 
 
 __all__ = ["SketchConfig", "SketchGenerator", "TARGETS"]

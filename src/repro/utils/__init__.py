@@ -1,8 +1,17 @@
-"""Shared utilities: seeded RNG streams and structured logging."""
+"""Shared utilities: seeded RNG streams, logging, wall-clock timing."""
 
 from __future__ import annotations
 
 from repro.utils.logging import get_logger
 from repro.utils.rng import ROOT_SEED, seed_for, stream
+from repro.utils.timer import Timer, best_of, format_seconds
 
-__all__ = ["ROOT_SEED", "get_logger", "seed_for", "stream"]
+__all__ = [
+    "ROOT_SEED",
+    "Timer",
+    "best_of",
+    "format_seconds",
+    "get_logger",
+    "seed_for",
+    "stream",
+]

@@ -1,0 +1,157 @@
+"""Properties of the batch feature-extraction pipeline (repro.core).
+
+The load-bearing claims, each pinned by a hypothesis property:
+
+1. ``transform`` is deterministic — across repeated calls on one
+   featurizer and across independently fitted featurizers.
+2. The vectorized batch path is *bit-identical* to the naive
+   per-primitive reference extractor, for both Table 4 geometries.
+3. ``crop_pad`` preserves the kept prefix exactly and zeroes the rest,
+   at 25x22 and 54x40.
+4. Sequence-LRU hits return arrays bit-identical to a fresh encode.
+5. Fail-closed: every sampler-generated sequence the extractor is fed
+   passes the batch verifier with no errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import has_errors, verify_many
+from repro.core import (
+    N_KINDS,
+    TABLE4_CROPPED,
+    TABLE4_UNCROPPED,
+    PostprocessConfig,
+    TLPFeaturizer,
+    abstract,
+    crop_pad,
+    reference_transform,
+)
+from repro.tensorir import SketchConfig, SketchGenerator, sample_subgraph_pool
+from repro.utils.rng import stream
+
+_POOL = sample_subgraph_pool()
+_GEN = SketchGenerator(SketchConfig("cpu"))
+_CORPUS = [
+    schedule
+    for sg in _POOL
+    for schedule in _GEN.generate_many(sg, 6, stream(f"test.extractor.{sg.name}"))
+]
+_CONFIGS = (TABLE4_CROPPED, TABLE4_UNCROPPED)
+_FITTED = {cfg: TLPFeaturizer(cfg).fit(_CORPUS) for cfg in _CONFIGS}
+
+batches = st.lists(st.sampled_from(_CORPUS), min_size=1, max_size=16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=batches)
+def test_transform_is_deterministic(batch):
+    fitted = _FITTED[TABLE4_CROPPED]
+    X1, M1 = fitted.transform(batch)
+    X2, M2 = fitted.transform(batch)
+    assert np.array_equal(X1, X2) and np.array_equal(M1, M2)
+    # An independently fitted featurizer agrees bit-for-bit: the vocab is
+    # built in sorted order, so fitting is order- and instance-independent.
+    fresh = TLPFeaturizer(TABLE4_CROPPED).fit(list(reversed(_CORPUS)))
+    X3, M3 = fresh.transform(batch)
+    assert np.array_equal(X1, X3) and np.array_equal(M1, M3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch=batches, config=st.sampled_from(_CONFIGS))
+def test_batch_matches_naive_reference(batch, config):
+    featurizer = _FITTED[config]
+    X, M = featurizer.transform(batch)
+    X_ref, M_ref = reference_transform(featurizer, batch)
+    assert X.dtype == X_ref.dtype == np.float32
+    assert np.array_equal(X, X_ref)
+    assert np.array_equal(M, M_ref)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=60),
+    width=st.integers(min_value=1, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**16),
+    config=st.sampled_from(_CONFIGS),
+)
+def test_crop_pad_preserves_prefix(length, width, seed, config):
+    rows = (
+        stream(f"test.croppad.{seed}")
+        .standard_normal((length, width))
+        .astype(np.float32)
+    )
+    out, kept = crop_pad(rows, config)
+    kept_rows = min(length, config.seq_len)
+    kept_cols = min(width, config.emb)
+    assert kept == kept_rows
+    assert out.shape == (config.seq_len, config.emb)
+    assert np.array_equal(out[:kept_rows, :kept_cols], rows[:kept_rows, :kept_cols])
+    assert not out[kept_rows:].any()
+    assert not out[:, kept_cols:].any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=batches)
+def test_cache_hits_are_bit_identical(batch):
+    cached = TLPFeaturizer(TABLE4_CROPPED, cache_size=64).fit(_CORPUS)
+    X1, M1 = cached.transform(batch)
+    hits_before = cached.cache_info()["hits"]
+    X2, M2 = cached.transform(batch)
+    # Every probe of the second pass hits the sequence LRU...
+    assert cached.cache_info()["hits"] == hits_before + len(batch)
+    assert np.array_equal(X1, X2) and np.array_equal(M1, M2)
+    # ...and the cached arrays equal an encode with the LRU disabled.
+    uncached = TLPFeaturizer(TABLE4_CROPPED, cache_size=0).fit(_CORPUS)
+    X3, M3 = uncached.transform(batch)
+    assert uncached.cache_info()["size"] == 0
+    assert np.array_equal(X1, X3) and np.array_equal(M1, M3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(sg=st.sampled_from(_POOL), seed=st.integers(min_value=0, max_value=2**16))
+def test_extractor_inputs_pass_verifier_fail_closed(sg, seed):
+    """generate_many output — the extractor's feed — is verified clean."""
+    schedules = _GEN.generate_many(sg, 4, stream(f"test.failclosed.{sg.name}.{seed}"))
+    diag_lists = verify_many(sg, [s.primitives for s in schedules])
+    assert len(diag_lists) == len(schedules)
+    assert all(not has_errors(diags) for diags in diag_lists)
+
+
+# -- direct (non-property) edge cases -----------------------------------
+
+
+def test_transform_before_fit_raises():
+    with pytest.raises(RuntimeError, match="before fit"):
+        TLPFeaturizer().transform(_CORPUS[:1])
+
+
+def test_fit_empty_corpus_raises():
+    with pytest.raises(ValueError, match="non-empty"):
+        TLPFeaturizer().fit([])
+
+
+def test_degenerate_geometry_raises():
+    with pytest.raises(ValueError):
+        PostprocessConfig(seq_len=0, emb=22)
+
+
+def test_sequence_lru_stays_bounded():
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=8).fit(_CORPUS)
+    featurizer.transform(_CORPUS)
+    assert featurizer.cache_info()["size"] <= 8
+
+
+def test_row_layout_leads_with_one_hot_kind():
+    fitted = _FITTED[TABLE4_CROPPED]
+    schedule = _CORPUS[0]
+    X, mask = fitted.transform([schedule])
+    kept = int(mask[0].sum())
+    assert kept == min(len(schedule.primitives), TABLE4_CROPPED.seq_len)
+    for j in range(kept):
+        one_hot = X[0, j, :N_KINDS]
+        assert one_hot.sum() == 1.0
+        assert one_hot[abstract(schedule.primitives[j]).kind_index] == 1.0
