@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-save check
+.PHONY: test lint gradcheck bench bench-save check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,10 +10,13 @@ test:
 lint:
 	$(PYTHON) -m repro.analysis.selfcheck src/
 
+gradcheck:
+	$(PYTHON) -m pytest -x -q -m gradcheck
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-save:
 	$(PYTHON) benchmarks/bench_save.py
 
-check: lint test
+check: lint test gradcheck

@@ -1,0 +1,74 @@
+"""Throughput of the TLP cost model on the numpy autograd substrate.
+
+Times the Fig. 7 forward pass and the full forward+backward step on a
+512-schedule batch of featurized matmul schedules — the batch geometry
+a search round scores at once.  Absolute numbers track the numpy BLAS;
+the benchmark's job is catching regressions in the autograd tape (extra
+copies, accidental float64 upcasts, quadratic bookkeeping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import PostprocessConfig, TLPFeaturizer, TLPModel, TLPModelConfig
+from repro.tensorir import SketchConfig, SketchGenerator, matmul_subgraph
+from repro.utils.rng import stream
+
+BATCH = 512
+
+_CONFIG = TLPModelConfig(emb=22, hidden=64, n_heads=4, n_res_blocks=2,
+                         stream_name="bench.nn.model")
+
+
+@pytest.fixture(scope="module")
+def batch():
+    gen = SketchGenerator(SketchConfig("cpu"))
+    corpus = gen.generate_many(matmul_subgraph(128, 128, 128), BATCH, stream("bench.nn"))
+    featurizer = TLPFeaturizer(PostprocessConfig()).fit(corpus)
+    return featurizer.transform(corpus)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TLPModel(_CONFIG)
+
+
+def test_forward_batch512(benchmark, model, batch):
+    X, mask = batch
+    scores = benchmark(model, X, mask)
+    assert scores.shape == (BATCH,)
+    assert scores.data.dtype == np.float32
+
+
+def test_forward_backward_batch512(benchmark, model, batch):
+    X, mask = batch
+    labels = stream("bench.nn.labels").random(BATCH).astype(np.float32)
+
+    def step():
+        model.zero_grad()
+        loss = nn.lambda_rank_loss(model(X, mask), labels)
+        loss.backward()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(float(loss.data))
+
+
+def test_training_step_batch512(benchmark, model, batch):
+    """One full optimizer step: forward, backward, Adam update."""
+    X, mask = batch
+    labels = stream("bench.nn.labels").random(BATCH).astype(np.float32)
+    opt = nn.Adam(model.parameters(), lr=1e-4)
+
+    def step():
+        opt.zero_grad()
+        loss = nn.lambda_rank_loss(model(X, mask), labels)
+        loss.backward()
+        opt.step()
+        return loss
+
+    loss = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(float(loss.data))

@@ -27,6 +27,7 @@ _REQUIRES = {
         "repro.baselines",
     ),
     "bench_extractor.py": ("repro.core",),
+    "bench_nn.py": ("repro.nn", "repro.core.tlp_model"),
     "bench_tables.py": ("repro.experiments",),
     "bench_figures.py": ("repro.experiments",),
 }

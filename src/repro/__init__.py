@@ -9,7 +9,10 @@ Currently present:
 * ``repro.analysis`` — static verification of primitive sequences
   (no schedule application, no latency simulation) plus a repo self-lint.
 * ``repro.core``     — TLP feature extraction: batch-first featurizer over
-  primitive sequences (Fig. 4/5) with Table 4 crop/pad.
+  primitive sequences (Fig. 4/5) with Table 4 crop/pad, plus the Fig. 7
+  attention cost model.
+* ``repro.nn``       — from-scratch numpy autograd + NN substrate (layers,
+  attention, losses, optimizers, gradient checking).
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.analysis import (
     verify_schedule,
     verify_sequence,
 )
-from repro.core import PostprocessConfig, TLPFeaturizer
+from repro.core import PostprocessConfig, TLPFeaturizer, TLPModel, TLPModelConfig
 from repro.tensorir import (
     Axis,
     Loop,
@@ -60,6 +63,8 @@ __all__ = [
     "SketchGenerator",
     "Subgraph",
     "TLPFeaturizer",
+    "TLPModel",
+    "TLPModelConfig",
     "sample_schedule",
     "verify_many",
     "verify_schedule",

@@ -38,7 +38,7 @@ CODES: dict[str, str] = {
     "E104": "reorder is not a complete permutation of the live loop order",
     "E105": "unknown annotation or pragma token",
     "E106": "GPU thread bind under a non-GPU target",
-    "E107": "follow-split references a step that is absent or not a split",
+    "E107": "follow-split references a step that is absent, not a split, or not strictly earlier in the sequence",
     "E108": "split carries an extent that disagrees with the tracked extent",
     "E109": "fuse names fewer than two axes or non-adjacent axes",
     "E201": "reference to an axis that was never defined",

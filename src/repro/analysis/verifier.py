@@ -258,6 +258,19 @@ class SequenceVerifier:
         if not 0 <= src_step < len(self.primitives):
             self._emit("E107", index, f"follow-split references missing step {src_step}", axis)
             return
+        if src_step >= index:
+            # Ansor traces are strictly causal: a follow-split can only
+            # reuse the factors of a step that already executed.  A
+            # forward (or self) reference would make the applier read
+            # factors from a step that has not run yet.
+            self._emit(
+                "E107",
+                index,
+                f"follow-split references step {src_step}, which is not strictly "
+                f"earlier than step {index}",
+                axis,
+            )
+            return
         src = self.primitives[src_step]
         if src.kind is not PrimitiveKind.SP or len(src.ints) < 2:
             self._emit(

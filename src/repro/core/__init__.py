@@ -2,8 +2,10 @@
 
 The paper's core mechanism — and the first slice of the ``core``
 subsystem (DESIGN.md §3) to land: feature extraction from primitive
-sequences (Fig. 4/5) with the Table 4 crop/pad geometry.  The TLP model,
-MTL heads, trainers and metrics arrive in later PRs.
+sequences (Fig. 4/5) with the Table 4 crop/pad geometry — plus the
+first slice of the TLP cost model itself (Fig. 7, on the ``repro.nn``
+autograd substrate).  MTL heads, trainers and metrics arrive in later
+PRs.
 
 * ``abstract_primitive`` — canonical per-kind (one-hot ++ char tokens ++
   numerics) layout shared by every extractor implementation.
@@ -12,6 +14,8 @@ MTL heads, trainers and metrics arrive in later PRs.
 * ``extractor_reference`` — the deliberately naive per-primitive oracle
   and benchmark baseline.
 * ``postprocess`` — Table 4 ``seq_len x emb`` crop/pad.
+* ``tlp_model`` — :class:`TLPModel`: the Fig. 7 attention backbone
+  consuming ``TLPFeaturizer.transform`` output directly.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from repro.core.postprocess import (
     crop_pad,
     crop_pad_batch,
 )
+from repro.core.tlp_model import TLPModel, TLPModelConfig
 
 __all__ = [
     "KIND_INDEX",
@@ -44,6 +49,8 @@ __all__ = [
     "AbstractPrimitive",
     "PostprocessConfig",
     "TLPFeaturizer",
+    "TLPModel",
+    "TLPModelConfig",
     "abstract",
     "crop_pad",
     "crop_pad_batch",

@@ -153,9 +153,10 @@ class TLPFeaturizer:
                 mask[i, :length] = 1.0
         else:
             # No sequence LRU: skip the intermediate per-sequence array
-            # and encode straight into the batch tensor.
+            # and encode straight into the batch tensor.  Hit/miss
+            # counters stay untouched — they describe the LRU, and a
+            # disabled cache has no misses, only encodes.
             for i, seq in enumerate(sequences):
-                self._misses += 1
                 length = self._encode_into(X[i], _primitives_of(seq))
                 mask[i, :length] = 1.0
         return X, mask
@@ -201,7 +202,12 @@ class TLPFeaturizer:
     # -- cache introspection --------------------------------------------
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss counters and occupancy of the sequence LRU."""
+        """Hit/miss counters and occupancy of the sequence LRU.
+
+        With ``cache_size=0`` the LRU does not exist, so ``hits`` and
+        ``misses`` stay at 0 — a plain encode is not a miss of a cache
+        that was never consulted.
+        """
         return {
             "hits": self._hits,
             "misses": self._misses,

@@ -1,0 +1,101 @@
+"""The TLP attention cost model (paper Fig. 7), first slice.
+
+The backbone consumes ``TLPFeaturizer.transform`` output directly: the
+``[N, seq_len, emb]`` feature block and its ``[N, seq_len]`` padding
+mask.  Per Fig. 7 the rows are linearly up-sampled from the ``emb``
+width to the model width, mixed once by multi-head self-attention
+(padded rows masked out of the softmax), refined by a stack of
+dimension-preserving residual blocks, summed over the sequence axis
+(padding zeroed so pad rows contribute nothing), and projected to one
+latency score per schedule.
+
+This slice is the smoke-trainable forward/backward path; the MTL
+hardware heads and the full training loop land in later PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear, ResidualBlock
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, as_tensor
+from repro.utils.rng import stream
+
+
+@dataclass(frozen=True)
+class TLPModelConfig:
+    """Fig. 7 hyperparameters.
+
+    Defaults follow the paper's CPU configuration (embedding width from
+    Table 4, hidden width 256, 8 heads, 2 residual blocks); tests use a
+    narrower instance for speed.
+    """
+
+    emb: int = 22
+    hidden: int = 256
+    n_heads: int = 8
+    n_res_blocks: int = 2
+    dropout: float = 0.0
+    stream_name: str = "core.tlp_model.init"
+
+    def __post_init__(self) -> None:
+        if self.emb < 1:
+            raise ValueError(f"emb must be >= 1, got {self.emb}")
+        if self.hidden % self.n_heads != 0:
+            raise ValueError(
+                f"hidden {self.hidden} is not divisible by n_heads {self.n_heads}")
+        if self.n_res_blocks < 0:
+            raise ValueError(f"n_res_blocks must be >= 0, got {self.n_res_blocks}")
+
+
+class TLPModel(Module):
+    """Fig. 7: up-sample -> self-attention -> residual stack -> sum -> head.
+
+    One generator (derived from ``config.stream_name``) is threaded
+    through every submodule in construction order, so the weights are a
+    pure function of the config — two models built from equal configs
+    are bit-identical.
+    """
+
+    def __init__(self, config: TLPModelConfig | None = None):
+        config = config if config is not None else TLPModelConfig()
+        rng = stream(config.stream_name)
+        self.config = config
+        mid = max(config.n_heads, config.hidden // 2)
+        # Fig. 7's "linear up-sampling": two widening linears with ReLU.
+        self.up1 = Linear(config.emb, mid, rng=rng)
+        self.up2 = Linear(mid, config.hidden, rng=rng)
+        self.attention = MultiHeadSelfAttention(config.hidden, config.n_heads, rng=rng)
+        self.norm = LayerNorm(config.hidden)
+        self.dropout = Dropout(config.dropout, rng=rng) if config.dropout else None
+        self.res_blocks = [ResidualBlock(config.hidden, rng=rng)
+                           for _ in range(config.n_res_blocks)]
+        self.head = Linear(config.hidden, 1, rng=rng)
+
+    def forward(self, X: np.ndarray | Tensor, mask: np.ndarray) -> Tensor:
+        x = as_tensor(X)
+        if x.data.ndim != 3 or x.data.shape[-1] != self.config.emb:
+            raise ValueError(
+                f"expected features [N, L, {self.config.emb}], got {x.data.shape}")
+        mask = np.asarray(mask, dtype=np.float32)
+        if mask.shape != x.data.shape[:2]:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match features {x.data.shape[:2]}")
+        n, length, _ = x.shape
+        h = self.up2(self.up1(x).relu()).relu()
+        h = self.norm(h + self.attention(h, mask))
+        if self.dropout is not None:
+            h = self.dropout(h)
+        for block in self.res_blocks:
+            h = block(h)
+        # Padding rows carry attention/bias residue; zero them so the
+        # sequence sum only aggregates real primitive rows.
+        pooled = (h * mask.reshape(n, length, 1)).sum(axis=1)
+        return self.head(pooled).reshape(n)
+
+
+__all__ = ["TLPModel", "TLPModelConfig"]

@@ -1,0 +1,46 @@
+"""repro.nn — from-scratch numpy autograd + NN substrate.
+
+Reverse-mode autodiff over float32 ndarrays (:mod:`repro.nn.tensor`),
+a parameter/module registry, the layers the TLP cost model needs
+(Linear, LayerNorm, Dropout, residual blocks, multi-head
+self-attention), MSE + lambda-rank losses, SGD/Adam, and a seeded batch
+loader over extractor output.  Every differentiable piece is pinned by
+finite-difference gradient checks (``make gradcheck``).
+"""
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.data import BatchLoader
+from repro.nn.gradcheck import assert_gradients_match, max_relative_error, numerical_gradient
+from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU, ResidualBlock
+from repro.nn.losses import LambdaRankLoss, MSELoss, lambda_rank_loss, mse_loss
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
+from repro.nn.tensor import Tensor, as_tensor, softmax
+
+__all__ = [
+    "Adam",
+    "BatchLoader",
+    "CosineLR",
+    "Dropout",
+    "LambdaRankLoss",
+    "LayerNorm",
+    "Linear",
+    "MSELoss",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "StepLR",
+    "Tensor",
+    "as_tensor",
+    "assert_gradients_match",
+    "lambda_rank_loss",
+    "max_relative_error",
+    "mse_loss",
+    "numerical_gradient",
+    "softmax",
+]

@@ -1,0 +1,76 @@
+"""Batched, seeded iteration over extractor output.
+
+:class:`BatchLoader` wraps the ``(X, mask)`` pair that
+``TLPFeaturizer.transform`` produces (plus optional labels) and yields
+minibatches.  Shuffling draws each epoch's permutation from one named
+``repro.utils.rng`` stream fixed at construction, so a training run is
+a pure function of the stream name and the epoch count — the
+bit-reproducibility the smoke-training tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import stream
+
+
+class BatchLoader:
+    """Minibatch iterator over ``(X, mask[, labels])`` arrays."""
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        mask: np.ndarray,
+        labels: np.ndarray | None = None,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        stream_name: str = "nn.data.loader",
+        drop_last: bool = False,
+    ):
+        X = np.asarray(X, dtype=np.float32)
+        mask = np.asarray(mask, dtype=np.float32)
+        if X.shape[0] != mask.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but mask has {mask.shape[0]}")
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.float32).reshape(-1)
+            if labels.shape[0] != X.shape[0]:
+                raise ValueError(f"X has {X.shape[0]} rows but labels has {labels.shape[0]}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.X = X
+        self.mask = mask
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = stream(stream_name)
+
+    def __len__(self) -> int:
+        n = self.X.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = self.X.shape[0]
+        if self.shuffle:
+            # One permutation per epoch, drawn from the loader's stream:
+            # epoch k of a fresh loader with the same stream name sees the
+            # same order.
+            indices = self._rng.permutation(n)
+        else:
+            indices = np.arange(n)
+        for start in range(0, len(self) * self.batch_size, self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            if self.drop_last and batch.shape[0] < self.batch_size:
+                return
+            if self.labels is None:
+                yield self.X[batch], self.mask[batch]
+            else:
+                yield self.X[batch], self.mask[batch], self.labels[batch]
+
+
+__all__ = ["BatchLoader"]

@@ -1,0 +1,87 @@
+"""Central finite-difference gradient checking.
+
+What makes a from-scratch numpy autograd trustworthy: every layer and
+loss in ``repro.nn`` is pinned by ``assert_gradients_match`` (run via
+``make gradcheck`` / the ``gradcheck`` pytest marker), which compares
+the tape's analytic gradients against ``(f(x + h) - f(x - h)) / 2h``
+elementwise.  Forward passes stay float32 (the substrate has no other
+precision), so tolerances are calibrated for float32 noise: with the
+default ``eps`` the truncation and roundoff terms both sit well under
+the 1e-3 relative-error bar the acceptance criteria set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    loss_fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-2
+) -> np.ndarray:
+    """Central-difference gradient of ``loss_fn()`` w.r.t. ``tensor``.
+
+    ``loss_fn`` must rebuild the forward pass from ``tensor.data`` on
+    every call and return a scalar tensor; entries of ``tensor.data``
+    are perturbed in place and restored.
+    """
+    data = tensor.data
+    grad = np.zeros_like(data)
+    flat = data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.shape[0]):
+        original = flat[i]
+        flat[i] = original + np.float32(eps)
+        f_plus = float(loss_fn().data)
+        flat[i] = original - np.float32(eps)
+        f_minus = float(loss_fn().data)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def max_relative_error(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """``max |a - n|`` scaled by the larger gradient magnitude (>= 1)."""
+    scale = max(float(np.abs(analytic).max(initial=0.0)),
+                float(np.abs(numeric).max(initial=0.0)), 1.0)
+    return float(np.abs(analytic.astype(np.float32) - numeric).max(initial=0.0)) / scale
+
+
+def assert_gradients_match(
+    loss_fn: Callable[[], Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-2,
+    tol: float = 1e-3,
+) -> float:
+    """Gradcheck ``loss_fn`` against every tensor in ``tensors``.
+
+    Runs one analytic backward, then one central-difference pass per
+    tensor, asserting the worst relative error stays under ``tol``
+    (the acceptance bar: < 1e-3 in float32).  Returns the worst error.
+    """
+    for t in tensors:
+        t.grad = None
+    loss = loss_fn()
+    if loss.size != 1:
+        raise ValueError("gradcheck needs a scalar loss")
+    loss.backward()
+    worst = 0.0
+    for t in tensors:
+        if t.grad is None:
+            raise AssertionError("tensor received no analytic gradient")
+        analytic = t.grad.copy()
+        numeric = numerical_gradient(loss_fn, t, eps)
+        err = max_relative_error(analytic, numeric)
+        if err >= tol:
+            raise AssertionError(
+                f"gradient mismatch: rel error {err:.2e} >= {tol:.0e} "
+                f"for tensor of shape {t.shape}"
+            )
+        worst = max(worst, err)
+    return worst
+
+
+__all__ = ["assert_gradients_match", "max_relative_error", "numerical_gradient"]

@@ -1,0 +1,101 @@
+"""The layer kit the Fig. 7 model is assembled from.
+
+Linear, LayerNorm, Dropout, ReLU, and the dimension-preserving residual
+block.  Every layer that owns weights accepts an ``rng`` generator (from
+a named ``repro.utils.rng`` stream); models thread one generator through
+all submodules so construction order fully determines the weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import stream
+
+
+def _default_rng(tag: str) -> np.random.Generator:
+    return stream(f"nn.init.{tag}")
+
+
+class Linear(Module):
+    """``y = x @ W + b`` over the last axis (batched inputs broadcast)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        if rng is None:
+            rng = _default_rng(f"linear.{in_features}x{out_features}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LayerNorm(Module):
+    """Normalize the last axis to zero mean / unit variance, then affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        self.dim = dim
+        self.eps = float(eps)
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        return normed * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    Masks come from the layer's own generator, so a training run is
+    reproducible given the stream name and the order of forward calls.
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability {p} outside [0, 1)")
+        self.p = float(p)
+        self._rng = rng if rng is not None else _default_rng(f"dropout.{p}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = (self._rng.random(x.shape) >= self.p).astype(np.float32)
+        return x * (keep / np.float32(1.0 - self.p))
+
+
+class ResidualBlock(Module):
+    """``x + ReLU(Linear(x))`` — the Fig. 7 dimension-preserving unit."""
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None):
+        if rng is None:
+            rng = _default_rng(f"residual.{dim}")
+        self.fc = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x + self.fc(x).relu()
+
+
+__all__ = ["Dropout", "LayerNorm", "Linear", "ReLU", "ResidualBlock"]

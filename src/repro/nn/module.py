@@ -1,0 +1,123 @@
+"""Parameter registry and module tree.
+
+:class:`Parameter` is a :class:`~repro.nn.tensor.Tensor` that always
+requires grad; :class:`Module` discovers parameters by walking its
+attribute dict (submodules, parameters, and lists/tuples of either), so
+layers register state just by assigning ``self.weight = Parameter(...)``
+— no explicit registration calls, no hidden globals (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, TensorLike
+
+
+class Parameter(Tensor):
+    """A trainable tensor — ``requires_grad`` is always on."""
+
+    def __init__(self, data: TensorLike):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, state dicts."""
+
+    #: Training-mode flag; ``train()``/``eval()`` set an instance attribute
+    #: on every module in the tree.
+    training: bool = True
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- tree walking ----------------------------------------------------
+
+    def _children(self) -> Iterator[tuple[str, "Module | Parameter"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, (Parameter, Module)):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, (Parameter, Module)):
+                        yield f"{name}.{i}", item
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every descendant, depth-first."""
+        yield self
+        for _, child in self._children():
+            if isinstance(child, Module):
+                yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, child in self._children():
+            path = f"{prefix}{name}"
+            if isinstance(child, Parameter):
+                yield path, child
+            else:
+                yield from child.named_parameters(f"{path}.")
+
+    def parameters(self) -> list[Parameter]:
+        seen: set[int] = set()
+        params: list[Parameter] = []
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                params.append(p)
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- training state --------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = sorted(own.keys() - state.keys())
+        extra = sorted(state.keys() - own.keys())
+        if missing or extra:
+            raise ValueError(f"state dict mismatch: missing {missing}, unexpected {extra}")
+        for name, p in own.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {value.shape} vs {p.data.shape}"
+                )
+            p.data = value.copy()
+
+
+class Sequential(Module):
+    """Chain modules in order; the TLP up-sampling stack uses this."""
+
+    def __init__(self, *modules: Module):
+        self.steps = list(modules)
+
+    def forward(self, x):
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+__all__ = ["Module", "Parameter", "Sequential"]

@@ -1,0 +1,132 @@
+"""SGD / Adam and learning-rate schedules.
+
+Optimizers mutate ``Parameter.data`` in place from accumulated ``.grad``
+ndarrays; all state (momentum / moment buffers) is float32 and owned by
+the optimizer, so a model plus its optimizer state is fully captured by
+``Module.state_dict`` + the buffers here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        self.params = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr <= 0.0:
+            raise ValueError(f"non-positive learning rate {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= np.float32(self.momentum)
+                v += p.grad
+                update = v
+            else:
+                update = p.grad
+            p.data -= np.float32(self.lr) * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        scale = np.float32(self.lr * math.sqrt(bias2) / bias1)
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= np.float32(self.beta1)
+            m += np.float32(1.0 - self.beta1) * g
+            v *= np.float32(self.beta2)
+            v += np.float32(1.0 - self.beta2) * (g * g)
+            if self.weight_decay:
+                p.data -= np.float32(self.lr * self.weight_decay) * p.data
+            p.data -= scale * m / (np.sqrt(v) + np.float32(self.eps))
+
+
+class StepLR:
+    """Multiply the optimizer's LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_epochs = int(total_epochs)
+        self.min_lr = float(min_lr)
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        span = self.base_lr - self.min_lr
+        cos = math.cos(math.pi * self.epoch / self.total_epochs)
+        self.optimizer.lr = self.min_lr + 0.5 * span * (1.0 + cos)
+        return self.optimizer.lr
+
+
+__all__ = ["Adam", "CosineLR", "Optimizer", "SGD", "StepLR"]

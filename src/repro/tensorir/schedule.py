@@ -73,6 +73,9 @@ class Schedule:
 class _Applier:
     schedule: Schedule
     nest: LoopNest = field(init=False)
+    #: Index of the primitive currently being applied — FSP resolution
+    #: must only see strictly earlier steps (Ansor traces are causal).
+    _step: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         sg = self.schedule.subgraph
@@ -83,6 +86,7 @@ class _Applier:
 
     def run(self) -> LoopNest:
         for index, prim in enumerate(self.schedule.primitives):
+            self._step = index
             if self.nest.inlined:
                 raise ScheduleError(f"step {index}: primitive after compute-inline")
             try:
@@ -130,6 +134,11 @@ class _Applier:
         extent, src_step = prim.ints
         if not 0 <= src_step < len(self.schedule.primitives):
             raise ScheduleError(f"follow-split of {axis!r} references missing step {src_step}")
+        if src_step >= self._step:
+            raise ScheduleError(
+                f"follow-split of {axis!r} references step {src_step}, which is not "
+                f"strictly earlier than step {self._step}"
+            )
         src = self.schedule.primitives[src_step]
         if src.kind is not PrimitiveKind.SP:
             raise ScheduleError(f"follow-split of {axis!r} references non-SP step {src_step}")

@@ -59,7 +59,14 @@ def best_of(fn: Callable[[], object], repeats: int = 5) -> float:
 
 
 def format_seconds(seconds: float) -> str:
-    """Human-scale rendering: ``1.23s`` / ``4.56ms`` / ``789us``."""
+    """Human-scale rendering: ``1.23s`` / ``4.56ms`` / ``789us``.
+
+    Non-positive durations render as ``0us``: ``perf_counter`` deltas can
+    come out marginally negative under clock skew, and a signed
+    microsecond count is never what a timing report means.
+    """
+    if seconds <= 0.0:
+        return "0us"
     if seconds >= 1.0:
         return f"{seconds:.2f}s"
     if seconds >= 1e-3:

@@ -81,6 +81,23 @@ def dangling_follow_split(s: Schedule):
     return _insert(s.primitives, 0, P.follow_split(axis.name, axis.extent, 9999))
 
 
+def fsp_forward_reference(s: Schedule):
+    """FSP whose src_step_index points at a *later* SP step in the trace."""
+    i = _find(s.primitives, PrimitiveKind.SP)
+    if i is None:
+        return None
+    axis = s.subgraph.axes[0]
+    # After inserting at the front, the SP sits at i + 1: a forward reference
+    # to a real split step — exactly the hole the old contract let through.
+    return _insert(s.primitives, 0, P.follow_split(axis.name, axis.extent, i + 1))
+
+
+def fsp_self_reference(s: Schedule):
+    """FSP referencing its own step index."""
+    axis = s.subgraph.axes[0]
+    return _insert(s.primitives, 0, P.follow_split(axis.name, axis.extent, 0))
+
+
 def wrong_carried_extent(s: Schedule):
     i = _find(s.primitives, PrimitiveKind.SP)
     if i is None:
@@ -132,6 +149,8 @@ CORRUPTIONS: list[tuple[str, str, Mutator]] = [
     ("E105", "unknown_annotation", unknown_annotation),
     ("E106", "gpu_bind_on_cpu", gpu_bind_on_cpu),
     ("E107", "dangling_follow_split", dangling_follow_split),
+    ("E107", "fsp_forward_reference", fsp_forward_reference),
+    ("E107", "fsp_self_reference", fsp_self_reference),
     ("E108", "wrong_carried_extent", wrong_carried_extent),
     ("E109", "single_axis_fuse", single_axis_fuse),
     ("E201", "undefined_axis", undefined_axis),

@@ -145,6 +145,35 @@ def test_sequence_lru_stays_bounded():
     assert featurizer.cache_info()["size"] <= 8
 
 
+def test_disabled_cache_reports_no_hits_or_misses():
+    # cache_size=0 means there is no LRU to hit *or* miss: the counters
+    # must stay at zero instead of recording every encode as a "miss".
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=0).fit(_CORPUS)
+    featurizer.transform(_CORPUS)
+    featurizer.transform(_CORPUS)  # re-query: still not a hit or a miss
+    info = featurizer.cache_info()
+    assert info["hits"] == 0
+    assert info["misses"] == 0
+    assert info["size"] == 0
+    assert info["capacity"] == 0
+    # The per-primitive row memo is independent of the LRU and stays warm.
+    assert info["row_memo_size"] > 0
+
+
+def test_enabled_cache_counts_misses_then_hits():
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=64).fit(_CORPUS)
+    # Dedupe by content: a repeated sequence would hit on its first pass.
+    batch = list({s.primitives: s for s in _CORPUS[:16]}.values())
+    featurizer.transform(batch)
+    info = featurizer.cache_info()
+    assert info["misses"] == len(batch)
+    assert info["hits"] == 0
+    featurizer.transform(batch)
+    info = featurizer.cache_info()
+    assert info["misses"] == len(batch)
+    assert info["hits"] == len(batch)
+
+
 def test_row_layout_leads_with_one_hot_kind():
     fitted = _FITTED[TABLE4_CROPPED]
     schedule = _CORPUS[0]

@@ -1,0 +1,55 @@
+"""Multi-head self-attention: masking semantics + gradcheck."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention, Tensor, assert_gradients_match
+from repro.utils.rng import stream
+
+_RNG = stream("test.nn.attention")
+
+
+def _x(shape, scale=0.5):
+    return Tensor((_RNG.standard_normal(shape) * scale).astype(np.float32), requires_grad=True)
+
+
+def test_output_shape_and_head_divisibility():
+    att = MultiHeadSelfAttention(8, 4, rng=stream("t.att.shape"))
+    assert att(_x((3, 6, 8))).shape == (3, 6, 8)
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(8, 3)
+
+
+def test_masked_positions_receive_zero_attention_weight():
+    """Real-row outputs must not change when padded-row features change."""
+    att = MultiHeadSelfAttention(8, 2, rng=stream("t.att.mask"))
+    x = _RNG.standard_normal((2, 5, 8)).astype(np.float32)
+    mask = np.ones((2, 5), dtype=np.float32)
+    mask[:, 3:] = 0.0
+    base = att(Tensor(x), mask).data
+    perturbed = x.copy()
+    perturbed[:, 3:, :] += _RNG.standard_normal((2, 2, 8)).astype(np.float32) * 10.0
+    out = att(Tensor(perturbed), mask).data
+    assert np.allclose(base[:, :3, :], out[:, :3, :], atol=1e-5)
+    # all-ones mask is a no-op relative to no mask at all
+    full = att(Tensor(x), np.ones((2, 5), dtype=np.float32)).data
+    assert np.allclose(full, att(Tensor(x)).data, atol=1e-6)
+
+
+def test_construction_is_reproducible_from_stream():
+    a = MultiHeadSelfAttention(8, 2, rng=stream("t.att.repro"))
+    b = MultiHeadSelfAttention(8, 2, rng=stream("t.att.repro"))
+    for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert na == nb and np.array_equal(pa.data, pb.data)
+
+
+@pytest.mark.gradcheck
+def test_gradcheck_attention_with_mask():
+    att = MultiHeadSelfAttention(4, 2, rng=stream("t.att.gc"))
+    x = _x((2, 3, 4))
+    mask = np.ones((2, 3), dtype=np.float32)
+    mask[1, 2] = 0.0
+    tensors = [x] + list(att.parameters())
+    assert_gradients_match(lambda: (att(x, mask) ** 2).mean(), tensors)

@@ -1,0 +1,65 @@
+"""BatchLoader: batching geometry, seeded shuffles, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchLoader
+from repro.utils.rng import stream
+
+_N, _L, _F = 23, 5, 4
+_RNG = stream("test.nn.data")
+_X = _RNG.standard_normal((_N, _L, _F)).astype(np.float32)
+_MASK = (_RNG.random((_N, _L)) < 0.8).astype(np.float32)
+_Y = _RNG.random(_N).astype(np.float32)
+
+
+def test_batches_cover_every_row_exactly_once():
+    loader = BatchLoader(_X, _MASK, _Y, batch_size=8, stream_name="t.data.cover")
+    rows = []
+    for Xb, mb, yb in loader:
+        assert Xb.shape[1:] == (_L, _F) and mb.shape[1:] == (_L,)
+        assert Xb.shape[0] == mb.shape[0] == yb.shape[0]
+        rows.extend(Xb[:, 0, 0].tolist())
+    assert len(rows) == _N
+    assert sorted(rows) == sorted(_X[:, 0, 0].tolist())
+    assert len(loader) == 3
+
+
+def test_drop_last_only_yields_full_batches():
+    loader = BatchLoader(_X, _MASK, batch_size=8, drop_last=True, stream_name="t.data.drop")
+    batches = list(loader)
+    assert len(batches) == len(loader) == 2
+    assert all(Xb.shape[0] == 8 for Xb, _ in batches)
+
+
+def test_unshuffled_loader_preserves_order_and_omits_labels():
+    loader = BatchLoader(_X, _MASK, batch_size=100, shuffle=False)
+    (out,) = [b for b in loader]
+    Xb, mb = out
+    assert np.array_equal(Xb, _X) and np.array_equal(mb, _MASK)
+
+
+def test_same_stream_name_gives_identical_epoch_order():
+    a = BatchLoader(_X, _MASK, _Y, batch_size=8, stream_name="t.data.seeded")
+    b = BatchLoader(_X, _MASK, _Y, batch_size=8, stream_name="t.data.seeded")
+    for _ in range(3):  # permutation sequence matches epoch by epoch
+        for (Xa, _, ya), (Xb, _, yb) in zip(a, b):
+            assert np.array_equal(Xa, Xb) and np.array_equal(ya, yb)
+
+
+def test_epochs_reshuffle_within_one_loader():
+    loader = BatchLoader(_X, _MASK, batch_size=100, stream_name="t.data.reshuffle")
+    first = next(iter(loader))[0]
+    second = next(iter(loader))[0]
+    assert not np.array_equal(first, second)
+
+
+def test_loader_validates_inputs():
+    with pytest.raises(ValueError):
+        BatchLoader(_X, _MASK[:-1])
+    with pytest.raises(ValueError):
+        BatchLoader(_X, _MASK, _Y[:-1])
+    with pytest.raises(ValueError):
+        BatchLoader(_X, _MASK, batch_size=0)

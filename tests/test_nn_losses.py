@@ -1,0 +1,85 @@
+"""MSE + lambda-rank: ranking semantics and gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LambdaRankLoss,
+    MSELoss,
+    Tensor,
+    assert_gradients_match,
+    lambda_rank_loss,
+    mse_loss,
+)
+from repro.utils.rng import stream
+
+_RNG = stream("test.nn.losses")
+
+
+def _pred(values):
+    return Tensor(np.asarray(values, dtype=np.float32), requires_grad=True)
+
+
+def test_mse_matches_numpy():
+    p = _pred([1.0, 2.0, 3.0])
+    t = np.array([1.5, 2.0, 1.0], dtype=np.float32)
+    assert float(mse_loss(p, t).data) == pytest.approx(float(((p.data - t) ** 2).mean()))
+
+
+def test_lambda_rank_rewards_correct_order():
+    """Scoring in label order must cost less than scoring in reverse."""
+    y = np.array([1.0, 0.8, 0.5, 0.2, 0.05], dtype=np.float32)
+    good = lambda_rank_loss(_pred([5.0, 4.0, 3.0, 2.0, 1.0]), y)
+    bad = lambda_rank_loss(_pred([1.0, 2.0, 3.0, 4.0, 5.0]), y)
+    assert 0.0 < float(good.data) < float(bad.data)
+
+
+def test_lambda_rank_degenerate_groups_are_zero_with_grad_path():
+    for pred, y in [
+        (_pred([1.0]), np.array([0.5], dtype=np.float32)),  # one candidate
+        (_pred([1.0, 2.0]), np.array([0.7, 0.7], dtype=np.float32)),  # tied labels
+        (_pred([1.0, 2.0]), np.zeros(2, dtype=np.float32)),  # maxDCG == 0
+    ]:
+        loss = lambda_rank_loss(pred, y)
+        assert float(loss.data) == 0.0
+        loss.backward()
+        assert pred.grad is not None and np.allclose(pred.grad, 0.0)
+
+
+def test_lambda_rank_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        lambda_rank_loss(_pred([1.0, 2.0]), np.zeros(3, dtype=np.float32))
+
+
+def test_gradient_pushes_scores_toward_label_order():
+    """One ascent step on -loss must raise the better item's score."""
+    pred = _pred([0.0, 0.0, 0.0])
+    y = np.array([1.0, 0.5, 0.1], dtype=np.float32)
+    lambda_rank_loss(pred, y).backward()
+    # descending gradient: best-labelled item gets the most negative grad
+    assert pred.grad[0] < pred.grad[1] < pred.grad[2]
+
+
+def test_loss_classes_delegate():
+    p = _pred([2.0, 1.0])
+    y = np.array([0.9, 0.1], dtype=np.float32)
+    assert float(LambdaRankLoss()(p, y).data) == float(lambda_rank_loss(p, y).data)
+    assert float(MSELoss()(p, y).data) == float(mse_loss(p, y).data)
+
+
+@pytest.mark.gradcheck
+def test_gradcheck_mse():
+    p = _pred(_RNG.standard_normal(8).astype(np.float32))
+    t = _RNG.standard_normal(8).astype(np.float32)
+    assert_gradients_match(lambda: mse_loss(p, t), [p])
+
+
+@pytest.mark.gradcheck
+def test_gradcheck_lambda_rank():
+    # well-separated scores so the eps-perturbation cannot flip the
+    # predicted order (the sort permutation is a constant of the tape)
+    p = _pred([2.0, 1.0, -0.5, 0.3, -1.4])
+    y = np.array([0.9, 0.2, 0.6, 1.0, 0.1], dtype=np.float32)
+    assert_gradients_match(lambda: lambda_rank_loss(p, y), [p], eps=5e-3)

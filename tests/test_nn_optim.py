@@ -1,0 +1,100 @@
+"""Optimizers + LR schedules: convergence and state semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineLR, Parameter, StepLR
+from repro.nn.tensor import Tensor
+
+
+def _quadratic(p: Parameter, target: np.ndarray) -> Tensor:
+    diff = p - target
+    return (diff * diff).sum()
+
+
+def _fit(opt_factory, steps=200):
+    target = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+    p = Parameter(np.zeros(3, dtype=np.float32))
+    opt = opt_factory([p])
+    for _ in range(steps):
+        opt.zero_grad()
+        _quadratic(p, target).backward()
+        opt.step()
+    return p, target
+
+
+def test_sgd_converges_on_quadratic():
+    p, target = _fit(lambda ps: SGD(ps, lr=0.1))
+    assert np.allclose(p.data, target, atol=1e-4)
+
+
+def test_sgd_momentum_converges():
+    p, target = _fit(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+    assert np.allclose(p.data, target, atol=1e-3)
+
+
+def test_adam_converges_on_quadratic():
+    p, target = _fit(lambda ps: Adam(ps, lr=0.1))
+    assert np.allclose(p.data, target, atol=1e-3)
+
+
+def test_adam_first_step_size_is_lr():
+    """With bias correction, step 1 moves by ~lr in the gradient direction."""
+    p = Parameter(np.zeros(1, dtype=np.float32))
+    opt = Adam([p], lr=0.01)
+    p.grad = np.array([7.0], dtype=np.float32)
+    opt.step()
+    assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+
+def test_adam_weight_decay_is_decoupled():
+    """Decay scales with lr * wd and applies even with zero gradient signal."""
+    p = Parameter(np.full(2, 10.0, dtype=np.float32))
+    opt = Adam([p], lr=0.1, weight_decay=0.5)
+    p.grad = np.zeros(2, dtype=np.float32)
+    opt.step()
+    assert np.allclose(p.data, 10.0 * (1.0 - 0.1 * 0.5))
+    with pytest.raises(ValueError):
+        Adam([p], lr=-1.0)
+
+
+def test_skipped_grad_leaves_parameter_untouched():
+    p = Parameter(np.ones(2, dtype=np.float32))
+    opt = SGD([p], lr=0.5)
+    opt.step()  # p.grad is None
+    assert np.array_equal(p.data, np.ones(2, dtype=np.float32))
+
+
+def test_optimizer_rejects_empty_params():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_step_lr_decays_by_gamma():
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=1.0)
+    sched = StepLR(opt, step_size=2, gamma=0.1)
+    lrs = [sched.step() for _ in range(4)]
+    assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+
+def test_cosine_lr_reaches_min_lr():
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=1.0)
+    sched = CosineLR(opt, total_epochs=4, min_lr=0.1)
+    lrs = [sched.step() for _ in range(5)]
+    assert lrs[0] < 1.0
+    assert lrs[3] == pytest.approx(0.1)
+    assert lrs[4] == pytest.approx(0.1)  # clamps past the horizon
+    assert all(b <= a for a, b in zip(lrs, lrs[1:]))
+
+
+def test_all_optimizer_state_is_float32():
+    p = Parameter(np.ones((3, 3), dtype=np.float32))
+    opt = Adam([p], lr=0.01)
+    p.grad = np.ones((3, 3), dtype=np.float32)
+    opt.step()
+    assert p.data.dtype == np.float32
+    assert opt._m[0].dtype == np.float32 and opt._v[0].dtype == np.float32

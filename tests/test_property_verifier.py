@@ -4,15 +4,29 @@
    passes clean applies without exception.
 2. Sensitivity: any single-field corruption of a valid sequence is
    flagged with the corruption's designated error code.
+3. FSP-reference agreement: perturbing a follow-split's src_step_index
+   never opens a gap between the verifier and the applier — a clean
+   verdict still applies, and an E107 verdict still fails to apply.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from corruptions import CORRUPTIONS
 from repro.analysis import has_errors, verify_sequence, verify_schedule
-from repro.tensorir import SketchConfig, SketchGenerator, sample_subgraph_pool
+from repro.tensorir import (
+    PrimitiveKind,
+    Schedule,
+    ScheduleError,
+    SketchConfig,
+    SketchGenerator,
+    sample_subgraph_pool,
+)
+from repro.tensorir import primitives as P
 from repro.utils.rng import stream
 
 _POOL = sample_subgraph_pool()
@@ -37,6 +51,42 @@ def test_verified_valid_sequences_always_apply(schedule):
     # over the (few) padded splits; a loose sanity bound.
     if not nest.inlined:
         assert nest.padding_ratio(schedule.subgraph.total_points) < 2.0
+
+
+@st.composite
+def fsp_perturbed_schedules(draw):
+    """A sampled schedule with one FSP whose src_step_index is rewritten
+    to an arbitrary value (out of range, self, forward, or backward)."""
+    schedule = draw(schedules())
+    prims = schedule.primitives
+    fsp_at = [i for i, p in enumerate(prims) if p.kind is PrimitiveKind.FSP]
+    if fsp_at:
+        at = draw(st.sampled_from(fsp_at))
+    else:
+        # No FSP sampled: graft one onto the front so every example
+        # exercises the reference rule.
+        axis = schedule.subgraph.axes[0]
+        prims = (P.follow_split(axis.name, axis.extent, 0), *prims)
+        at = 0
+    new_src = draw(st.integers(min_value=-2, max_value=len(prims) + 2))
+    fsp = prims[at]
+    fsp = dataclasses.replace(fsp, ints=(fsp.ints[0], new_src))
+    return Schedule(schedule.subgraph, (*prims[:at], fsp, *prims[at + 1 :]), schedule.target)
+
+
+@settings(max_examples=120, deadline=None)
+@given(schedule=fsp_perturbed_schedules())
+def test_fsp_reference_perturbations_keep_verifier_applier_agreement(schedule):
+    diags = verify_schedule(schedule)
+    codes = {d.code for d in diags}
+    if not has_errors(diags):
+        schedule.apply()  # both accept
+    elif "E107" in codes:
+        with pytest.raises(ScheduleError):
+            schedule.apply()  # both reject
+    # Remaining cases carry non-E107 errors (e.g. E103 when the followed
+    # factors overpad the axis): the verifier is deliberately stricter than
+    # the applier there, so no agreement claim on those.
 
 
 @settings(max_examples=120, deadline=None)

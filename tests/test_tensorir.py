@@ -103,6 +103,20 @@ def test_apply_rejects_primitive_after_inline():
         s.apply()
 
 
+def test_apply_rejects_fsp_forward_reference(matmul):
+    # The ISSUE 3 repro: the applier must refuse factors from a step that
+    # has not executed yet.
+    s = Schedule(matmul, (P.follow_split("j", 128, 1), P.split("i", 128, (4,))))
+    with pytest.raises(ScheduleError, match="strictly earlier"):
+        s.apply()
+
+
+def test_apply_rejects_fsp_self_reference(matmul):
+    s = Schedule(matmul, (P.follow_split("j", 128, 0),))
+    with pytest.raises(ScheduleError, match="strictly earlier"):
+        s.apply()
+
+
 def test_follow_split_mirrors_source_factors(matmul):
     s = Schedule(
         matmul,

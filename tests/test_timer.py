@@ -56,3 +56,19 @@ def test_format_seconds_scales_units():
     assert format_seconds(1.234) == "1.23s"
     assert format_seconds(0.004567) == "4.57ms"
     assert format_seconds(0.000789) == "789us"
+
+
+def test_format_seconds_clamps_negative_durations():
+    # perf_counter skew can make a delta marginally negative; never render
+    # a signed duration like "-500000us".
+    assert format_seconds(-0.5) == "0us"
+    assert format_seconds(-1e-9) == "0us"
+
+
+def test_format_seconds_zero():
+    assert format_seconds(0.0) == "0us"
+
+
+def test_format_seconds_tiny_positive_rounds_to_zero_us():
+    assert format_seconds(1e-9) == "0us"
+    assert format_seconds(9e-7) == "1us"

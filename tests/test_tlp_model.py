@@ -1,0 +1,152 @@
+"""The Fig. 7 TLP cost model: shapes, masking, reproducibility, and the
+ISSUE 3 smoke-training acceptance (strictly decreasing lambda-rank loss
+over 5 epochs, bit-reproducible from the rng streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import TABLE4_CROPPED, TLPFeaturizer, TLPModel, TLPModelConfig
+from repro.tensorir import SketchConfig, SketchGenerator, sample_subgraph_pool
+from repro.utils.rng import stream
+
+_SMALL = TLPModelConfig(emb=22, hidden=32, n_heads=2, n_res_blocks=2)
+
+
+@pytest.fixture(scope="module")
+def featurized():
+    """A featurized corpus: 8 sampled schedules per pool subgraph."""
+    pool = sample_subgraph_pool()
+    gen = SketchGenerator(SketchConfig("cpu"))
+    rng = stream("test.tlp_model.corpus")
+    corpus = [gen.generate(sg, rng) for sg in pool for _ in range(8)]
+    featurizer = TLPFeaturizer(TABLE4_CROPPED).fit(corpus)
+    return featurizer.transform(corpus)
+
+
+def _labels(X: np.ndarray) -> np.ndarray:
+    """Deterministic stand-in for ``min_latency / latency`` in (0, 1]:
+    a seeded projection of the mean feature row, min-max normalized."""
+    w = stream("test.tlp_model.labels").standard_normal(X.shape[-1]).astype(np.float32)
+    raw = X.mean(axis=1) @ w
+    span = float(raw.max() - raw.min())
+    return ((raw - raw.min()) / np.float32(span + 1e-6)).astype(np.float32)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TLPModelConfig(hidden=30, n_heads=8)
+    with pytest.raises(ValueError):
+        TLPModelConfig(emb=0)
+    with pytest.raises(ValueError):
+        TLPModelConfig(n_res_blocks=-1)
+
+
+def test_forward_consumes_extractor_output_directly(featurized):
+    X, mask = featurized
+    scores = TLPModel(_SMALL)(X, mask)
+    assert scores.shape == (X.shape[0],)
+    assert scores.data.dtype == np.float32
+
+
+def test_forward_validates_geometry(featurized):
+    X, mask = featurized
+    model = TLPModel(_SMALL)
+    with pytest.raises(ValueError):
+        model(X[:, :, :-1], mask)
+    with pytest.raises(ValueError):
+        model(X, mask[:-1])
+
+
+def test_equal_configs_build_bit_identical_models(featurized):
+    X, mask = featurized
+    a, b = TLPModel(_SMALL), TLPModel(_SMALL)
+    for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert na == nb and np.array_equal(pa.data, pb.data)
+    assert np.array_equal(a(X, mask).data, b(X, mask).data)
+
+
+def test_scores_ignore_padding_row_content(featurized):
+    """Padded rows are masked out of attention and the pooled sum, so
+    their feature content must not affect any schedule's score."""
+    X, mask = featurized
+    assert (mask == 0.0).any(), "corpus has no padded rows to test with"
+    model = TLPModel(_SMALL)
+    base = model(X, mask).data
+    noisy = X + (1.0 - mask[:, :, None]) * 17.0
+    assert np.allclose(model(noisy, mask).data, base, atol=1e-4)
+
+
+def test_default_config_matches_paper_geometry():
+    model = TLPModel()
+    assert model.config == TLPModelConfig()
+    assert model.config.hidden == 256 and model.config.n_heads == 8
+    assert model.up1.in_features == 22
+    assert len(model.res_blocks) == 2
+    assert model.head.out_features == 1
+
+
+def _train_once(X, mask):
+    model = TLPModel(_SMALL)
+    labels = _labels(X)
+    opt = nn.Adam(model.parameters(), lr=1e-3)
+    sched = nn.CosineLR(opt, total_epochs=5, min_lr=1e-4)
+    loader = nn.BatchLoader(X, mask, labels, batch_size=16,
+                            stream_name="test.tlp_model.loader")
+    epoch_losses = []
+    for _ in range(5):
+        total, batches = 0.0, 0
+        for Xb, mb, yb in loader:
+            opt.zero_grad()
+            loss = nn.lambda_rank_loss(model(Xb, mb), yb)
+            loss.backward()
+            opt.step()
+            total += float(loss.data)
+            batches += 1
+        epoch_losses.append(total / batches)
+        sched.step()
+    return epoch_losses
+
+
+def test_smoke_training_loss_strictly_decreases_and_reproduces(featurized):
+    X, mask = featurized
+    first = _train_once(X, mask)
+    assert all(later < earlier for earlier, later in zip(first, first[1:])), first
+    # every stream (weights, shuffles, labels) is named and seeded, so an
+    # identical rerun reproduces the trajectory bit for bit
+    second = _train_once(X, mask)
+    assert first == second
+
+
+@pytest.mark.gradcheck
+def test_gradcheck_full_model():
+    tiny = TLPModelConfig(emb=22, hidden=8, n_heads=2, n_res_blocks=1,
+                          stream_name="test.tlp_model.gc")
+    model = TLPModel(tiny)
+    # Keep the whole network on one smooth piece: small inputs plus
+    # positive bias nudges hold every relu preactivation away from its
+    # kink under the finite-difference perturbations, and the MSE head is
+    # smooth where lambda-rank's sort permutation is not (lambda-rank has
+    # its own score-controlled gradcheck in test_nn_losses).
+    for linear in (model.up1, model.up2, model.res_blocks[0].fc):
+        linear.weight.data *= np.float32(0.2)
+        linear.bias.data += np.float32(1.0)
+    model.head.weight.data *= np.float32(0.05)  # keep the loss O(1)
+    rng = stream("test.tlp_model.gc.data")
+    Xs = (rng.standard_normal((2, 6, 22)) * 0.1).astype(np.float32)
+    ms = np.ones((2, 6), dtype=np.float32)
+    ms[1, 4:] = 0.0
+    labels = rng.random(2).astype(np.float32)
+
+    def loss_fn():
+        return nn.mse_loss(model(Xs, ms), labels)
+
+    # q/k projections are excluded: their end-to-end gradients are ~4
+    # orders of magnitude below the v-path here, under the float32
+    # finite-difference noise floor.  The attention layer's own gradcheck
+    # (test_nn_attention) pins them with a well-conditioned loss.
+    tensors = [p for name, p in model.named_parameters()
+               if "q_proj" not in name and "k_proj" not in name]
+    nn.assert_gradients_match(loss_fn, tensors, eps=5e-3)

@@ -45,6 +45,24 @@ def test_distinct_corruption_class_coverage():
     assert len({c for c, _, _ in CORRUPTIONS}) >= 6
 
 
+def test_fsp_forward_reference_is_flagged(matmul):
+    # The ISSUE 3 repro: an FSP referencing a *later* SP step used to verify
+    # clean and apply without error.  It must be E107 now.
+    prims = (P.follow_split("j", 128, 1), P.split("i", 128, (4,)))
+    diags = verify_sequence(matmul, prims)
+    assert "E107" in codes(diags), [str(d) for d in diags]
+
+
+def test_fsp_self_reference_is_flagged(matmul):
+    diags = verify_sequence(matmul, (P.follow_split("j", 128, 0),))
+    assert "E107" in codes(diags)
+
+
+def test_fsp_strictly_earlier_sp_still_verifies(matmul):
+    prims = (P.split("i", 128, (4,)), P.follow_split("j", 128, 0))
+    assert not has_errors(verify_sequence(matmul, prims))
+
+
 def test_duplicate_definition_detected():
     # A subgraph axis named like a split result collides with the split (E203).
     sg = Subgraph("weird", (Axis("i", 16), Axis("i.0", 4)))
