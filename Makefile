@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint gradcheck bench bench-save check
+.PHONY: test lint gradcheck bench bench-save smoke-infer check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,5 +18,11 @@ bench:
 
 bench-save:
 	$(PYTHON) benchmarks/bench_save.py
+	$(PYTHON) benchmarks/bench_save_inference.py
 
-check: lint test gradcheck
+# ~2 s end-to-end serving smoke: propose -> verify -> featurize ->
+# predict -> top-k, asserting predict bit-identical to the taped forward.
+smoke-infer:
+	$(PYTHON) -c "import repro.core.scoring as s; raise SystemExit(s.main())"
+
+check: lint test gradcheck smoke-infer

@@ -28,6 +28,8 @@ _REQUIRES = {
     ),
     "bench_extractor.py": ("repro.core",),
     "bench_nn.py": ("repro.nn", "repro.core.tlp_model"),
+    "bench_inference.py": ("repro.nn.functional", "repro.core.tlp_model",
+                           "repro.core.scoring"),
     "bench_tables.py": ("repro.experiments",),
     "bench_figures.py": ("repro.experiments",),
 }

@@ -36,9 +36,11 @@ from repro.core.postprocess import (
     crop_pad,
     crop_pad_batch,
 )
+from repro.core.scoring import CandidateScorer, ScoredTopK
 from repro.core.tlp_model import TLPModel, TLPModelConfig
 
 __all__ = [
+    "CandidateScorer",
     "KIND_INDEX",
     "KIND_ORDER",
     "N_KINDS",
@@ -48,6 +50,7 @@ __all__ = [
     "UNK_ID",
     "AbstractPrimitive",
     "PostprocessConfig",
+    "ScoredTopK",
     "TLPFeaturizer",
     "TLPModel",
     "TLPModelConfig",

@@ -1,0 +1,197 @@
+"""End-to-end candidate scoring: the search-side serving loop.
+
+:class:`CandidateScorer` pipes the pieces the evolutionary-search PRs
+will drive, in the exact order a tuning round needs them:
+
+    ``SketchGenerator.generate_many`` (propose, verified fail-closed)
+    → ``repro.analysis.verify_many`` (screen external candidates)
+    → ``TLPFeaturizer.transform`` (batch featurization, cached)
+    → ``TLPModel.predict`` (tape-free fused inference)
+    → top-k indices (highest predicted ``min_latency / latency`` first)
+
+Only *verified* candidates are ever scored: proposals from the sampler
+are verified by construction, and externally supplied candidates (e.g.
+mutation output) are screened with ``verify_many`` — invalid sequences
+are excluded from scoring and reported, never silently ranked.
+
+Throughput is the design axis (the paper's §6 observation: inference,
+not training, dominates search time); ``benchmarks/bench_inference.py``
+and ``BENCH_nn_inference.json`` record the candidates/sec this loop
+sustains.  ``python -m repro.core.scoring`` runs a ~2 s smoke of the
+whole loop (wired into ``make check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.diagnostics import errors
+from repro.analysis.verifier import verify_many
+from repro.core.extractor import SequenceLike, TLPFeaturizer, _primitives_of
+from repro.core.tlp_model import TLPModel
+from repro.tensorir.schedule import Schedule
+from repro.tensorir.sketch import SketchGenerator
+from repro.tensorir.subgraph import Subgraph
+
+
+@dataclass(frozen=True)
+class ScoredTopK:
+    """Result of one scoring round.
+
+    ``indices`` point into the *original* candidate list (best first),
+    so callers keep their own bookkeeping; invalid candidates can never
+    appear in ``indices``.
+    """
+
+    indices: np.ndarray      #: int64 [k] — positions of the top-k candidates
+    scores: np.ndarray       #: float32 [k] — their predicted scores, descending
+    n_candidates: int        #: how many candidates were submitted
+    n_invalid: int           #: how many failed static verification
+
+    @property
+    def n_scored(self) -> int:
+        return self.n_candidates - self.n_invalid
+
+
+class CandidateScorer:
+    """Scores schedule candidates with the TLP model, serving-style.
+
+    Owns no state beyond its collaborators: a *fitted*
+    :class:`TLPFeaturizer` (vocabulary must match the model's training
+    run) and a :class:`TLPModel`.  ``max_chunk`` bounds the inference
+    scratch footprint per ``TLPModel.predict``.
+    """
+
+    def __init__(self, model: TLPModel, featurizer: TLPFeaturizer,
+                 generator: SketchGenerator | None = None, *,
+                 max_chunk: int = 128):
+        if not featurizer.is_fitted:
+            raise ValueError(
+                "CandidateScorer needs a fitted TLPFeaturizer — fit() it on "
+                "the training corpus (the vocabulary the model was trained on)")
+        self.model = model
+        self.featurizer = featurizer
+        self.generator = generator
+        self.max_chunk = int(max_chunk)
+
+    # -- scoring ---------------------------------------------------------
+
+    def score(self, candidates: Sequence[SequenceLike]) -> np.ndarray:
+        """Predicted scores for already-verified candidates (float32 [N]).
+
+        Higher is better (the model regresses ``min_latency / latency``).
+        This is the trusted-input path — sampler output is verified
+        fail-closed at generation; use :meth:`score_topk` for anything
+        of unknown validity.
+        """
+        X, mask = self.featurizer.transform(candidates)
+        return self.model.predict(X, mask, max_chunk=self.max_chunk)
+
+    def score_topk(self, subgraph: Subgraph, candidates: Sequence[SequenceLike],
+                   k: int, target: str = "cpu") -> ScoredTopK:
+        """Verify, featurize, score, and rank external candidates.
+
+        Candidates failing static verification are dropped before
+        featurization (they would poison the ranking — DESIGN.md §8) and
+        counted in ``n_invalid``.  Returns the top-``k`` valid candidates
+        by descending score; ties break toward the earlier index so the
+        ranking is deterministic.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        sequences = [_primitives_of(c) for c in candidates]
+        diagnostics = verify_many(subgraph, sequences, target, stop_on_error=True)
+        valid = [i for i, diags in enumerate(diagnostics) if not errors(diags)]
+        n_invalid = len(sequences) - len(valid)
+        if not valid:
+            return ScoredTopK(np.empty(0, dtype=np.int64),
+                              np.empty(0, dtype=np.float32),
+                              len(sequences), n_invalid)
+        scores = self.score([sequences[i] for i in valid])
+        order = np.argsort(-scores, kind="stable")[:k]
+        return ScoredTopK(
+            indices=np.asarray([valid[i] for i in order], dtype=np.int64),
+            scores=scores[order],
+            n_candidates=len(sequences),
+            n_invalid=n_invalid,
+        )
+
+    # -- propose-and-score (the search inner loop) -----------------------
+
+    def propose_topk(self, subgraph: Subgraph, n: int, k: int,
+                     rng: np.random.Generator) -> tuple[list[Schedule], ScoredTopK]:
+        """Sample ``n`` fresh candidates and return them with their top-k.
+
+        Proposals come from ``SketchGenerator.generate_many`` and are
+        therefore verified fail-closed before scoring; the returned
+        ``ScoredTopK`` consequently has ``n_invalid == 0``.
+        """
+        if self.generator is None:
+            raise ValueError("propose_topk needs a SketchGenerator at construction")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        schedules = self.generator.generate_many(subgraph, n, rng)
+        scores = self.score(schedules)
+        order = np.argsort(-scores, kind="stable")[:k]
+        top = ScoredTopK(indices=order.astype(np.int64), scores=scores[order],
+                         n_candidates=n, n_invalid=0)
+        return schedules, top
+
+
+def _smoke(batch: int = 256, k: int = 8) -> dict[str, float]:
+    """A ~2 s end-to-end inference smoke (``make check`` runs this).
+
+    Generates a small candidate batch, scores it through the full
+    serving loop, and asserts the fast path bit-identical to the taped
+    eval-mode forward — the whole tentpole contract in one breath.
+    """
+    from repro.core.extractor import TLPFeaturizer as _Featurizer
+    from repro.core.postprocess import PostprocessConfig
+    from repro.core.tlp_model import TLPModelConfig
+    from repro.tensorir.sketch import SketchConfig
+    from repro.tensorir.subgraph import matmul_subgraph
+    from repro.utils.rng import stream
+    from repro.utils.timer import Timer
+
+    gen = SketchGenerator(SketchConfig("cpu"))
+    subgraph = matmul_subgraph(128, 128, 128)
+    corpus = gen.generate_many(subgraph, batch, stream("scoring.smoke"))
+    featurizer = _Featurizer(PostprocessConfig()).fit(corpus)
+    model = TLPModel(TLPModelConfig(emb=featurizer.config.emb, hidden=64,
+                                    n_heads=4, n_res_blocks=2,
+                                    stream_name="scoring.smoke.model")).eval()
+    scorer = CandidateScorer(model, featurizer, gen)
+
+    with Timer() as t:
+        schedules, top = scorer.propose_topk(subgraph, batch, k,
+                                             stream("scoring.smoke.propose"))
+    X, mask = featurizer.transform(schedules)
+    taped = model(X, mask).data
+    fast = model.predict(X, mask)
+    if not np.array_equal(taped, fast):
+        raise AssertionError("predict() is not bit-identical to taped forward")
+    if len(top.indices) != k or top.n_invalid != 0:
+        raise AssertionError(f"unexpected top-k result: {top}")
+    return {"candidates": float(batch),
+            "seconds": t.elapsed,
+            "candidates_per_sec": batch / t.elapsed}
+
+
+def main() -> int:
+    stats = _smoke()
+    print("inference smoke OK: "
+          f"{stats['candidates']:.0f} candidates end-to-end in "
+          f"{stats['seconds']*1e3:.0f} ms "
+          f"({stats['candidates_per_sec']:.0f} candidates/sec), "
+          "predict bit-identical to taped forward")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+__all__ = ["CandidateScorer", "ScoredTopK"]

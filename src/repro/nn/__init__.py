@@ -8,14 +8,16 @@ loader over extractor output.  Every differentiable piece is pinned by
 finite-difference gradient checks (``make gradcheck``).
 """
 
+from repro.nn import functional
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.data import BatchLoader
+from repro.nn.functional import MaskBiasCache, ScratchArena
 from repro.nn.gradcheck import assert_gradients_match, max_relative_error, numerical_gradient
 from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU, ResidualBlock
 from repro.nn.losses import LambdaRankLoss, MSELoss, lambda_rank_loss, mse_loss
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
-from repro.nn.tensor import Tensor, as_tensor, softmax
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, softmax
 
 __all__ = [
     "Adam",
@@ -26,6 +28,7 @@ __all__ = [
     "LayerNorm",
     "Linear",
     "MSELoss",
+    "MaskBiasCache",
     "Module",
     "MultiHeadSelfAttention",
     "Optimizer",
@@ -33,14 +36,18 @@ __all__ = [
     "ReLU",
     "ResidualBlock",
     "SGD",
+    "ScratchArena",
     "Sequential",
     "StepLR",
     "Tensor",
     "as_tensor",
     "assert_gradients_match",
+    "functional",
+    "is_grad_enabled",
     "lambda_rank_loss",
     "max_relative_error",
     "mse_loss",
+    "no_grad",
     "numerical_gradient",
     "softmax",
 ]

@@ -13,6 +13,13 @@ pin to < 1e-3 relative error.
 Everything stays float32 end to end (DESIGN.md §7, enforced by
 selfcheck SC103); gradients are plain ndarrays, not tensors, so the
 tape never grows through optimizer steps.
+
+Inference never runs the backward pass, so it should not pay for the
+tape: inside :func:`no_grad` every op skips parent tracking and
+backward-closure recording, so intermediates are freed as the forward
+pass proceeds.  Tensors produced under
+``no_grad`` are permanently tape-free — calling ``backward()`` on one
+raises instead of silently doing nothing.
 """
 
 from __future__ import annotations
@@ -22,6 +29,35 @@ from typing import Callable, Sequence, Union
 import numpy as np
 
 TensorLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+#: Module-level autograd switch; flipped only by :class:`no_grad`.
+_grad_enabled = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record the autograd tape."""
+    return _grad_enabled
+
+
+class no_grad:
+    """Context manager that disables tape construction for ops inside it.
+
+    While active, every ``Tensor`` op returns a result with no parents
+    and no backward closure (and ``requires_grad=False``), so the full
+    graph of intermediates is garbage-collected as the forward pass
+    proceeds — the memory/speed mode for pure scoring.  Nesting is
+    fine; the previous state is restored on exit even under exceptions.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
 
 
 def _f32(value: object) -> np.ndarray:
@@ -49,7 +85,7 @@ def as_tensor(value: TensorLike) -> "Tensor":
 class Tensor:
     """A float32 ndarray with a reverse-mode autograd tape."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_no_grad")
 
     def __init__(self, data: TensorLike, requires_grad: bool = False):
         self.data = _f32(data.data if isinstance(data, Tensor) else data)
@@ -57,6 +93,9 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
+        #: True only for op outputs created while grad was disabled —
+        #: their tape was never built, so backward() must refuse.
+        self._no_grad = False
 
     # -- introspection ---------------------------------------------------
 
@@ -73,7 +112,9 @@ class Tensor:
         return self.data.size
 
     def item(self) -> float:
-        return float(self.data)
+        # reshape(()) keeps this exact on any size-1 array of any ndim;
+        # float() on an ndim > 0 array is deprecated on modern numpy.
+        return self.data.reshape(()).item()
 
     def numpy(self) -> np.ndarray:
         return self.data
@@ -95,6 +136,12 @@ class Tensor:
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor to every reachable leaf."""
+        if self._no_grad:
+            raise RuntimeError(
+                "this tensor was produced under no_grad(): its autograd tape "
+                "was never recorded, so backward() cannot run. Re-run the "
+                "forward pass outside no_grad() to train."
+            )
         if grad is None:
             if self.size != 1:
                 raise ValueError("backward() without a gradient needs a scalar output")
@@ -124,10 +171,17 @@ class Tensor:
     def _track(self, data: np.ndarray, parents: Sequence["Tensor"],
                backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        if any(p.requires_grad for p in parents):
+        if not _grad_enabled:
+            out._no_grad = True
+        elif any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
+        elif any(p._no_grad for p in parents):
+            # Derived from a no_grad() product with no taped lineage:
+            # the tape is broken upstream, so backward() must still
+            # refuse with the clear error rather than silently no-op.
+            out._no_grad = True
         return out
 
     # -- broadcasted arithmetic ------------------------------------------
@@ -337,4 +391,4 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return e / e.sum(axis=axis, keepdims=True)
 
 
-__all__ = ["Tensor", "TensorLike", "as_tensor", "softmax"]
+__all__ = ["Tensor", "TensorLike", "as_tensor", "is_grad_enabled", "no_grad", "softmax"]

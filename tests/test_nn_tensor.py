@@ -35,6 +35,17 @@ def test_tensor_is_float32_everywhere():
     assert t.grad is None  # requires_grad defaults to False
 
 
+def test_item_extracts_any_single_element_shape():
+    # regression: item() on a [1, 1] tensor used to fail — it must
+    # accept every single-element shape, like ndarray.item().
+    assert Tensor([[3.0]]).item() == 3.0
+    assert Tensor(3.0).item() == 3.0
+    assert Tensor([3.0]).item() == 3.0
+    assert isinstance(Tensor([[3.0]]).item(), float)
+    with pytest.raises(ValueError):
+        Tensor([1.0, 2.0]).item()
+
+
 def test_backward_accumulates_and_zero_on_detached():
     x = _t((3,))
     y = x * np.float32(2.0) + x * np.float32(3.0)
