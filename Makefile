@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint gradcheck bench bench-save smoke-infer check
+.PHONY: test lint gradcheck bench bench-save smoke-infer smoke-simhw check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,10 +19,17 @@ bench:
 bench-save:
 	$(PYTHON) benchmarks/bench_save.py
 	$(PYTHON) benchmarks/bench_save_inference.py
+	$(PYTHON) benchmarks/bench_save_simhw.py
 
 # ~2 s end-to-end serving smoke: propose -> verify -> featurize ->
 # predict -> top-k, asserting predict bit-identical to the taped forward.
 smoke-infer:
 	$(PYTHON) -c "import repro.core.scoring as s; raise SystemExit(s.main())"
 
-check: lint test gradcheck smoke-infer
+# Simulated-hardware smoke: measure a candidate batch on all 7 platforms,
+# asserting bit-reproducibility and sane labels (also runnable directly
+# as `python -m repro.simhw.measure`).
+smoke-simhw:
+	$(PYTHON) -c "import importlib; raise SystemExit(importlib.import_module('repro.simhw.measure').main([]))"
+
+check: lint test gradcheck smoke-infer smoke-simhw

@@ -1,0 +1,86 @@
+"""Measure the simulated-hardware perf numbers and write the trajectory file.
+
+``make bench-save`` runs this script after the feature-pipeline and
+inference savers; it times ``measure_many`` on a 10,000-schedule batch
+(the ISSUE 5 acceptance budget is 10 s), the feature-extraction share,
+and the per-platform labelling sweep, and writes ``BENCH_simhw.json``
+at the repo root.  The report also records the latency digest so the
+perf trajectory doubles as a cross-machine determinism probe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.simhw import ALL_PLATFORMS, PLATFORMS, measure_many  # noqa: E402
+from repro.simhw.measure import extract_features  # noqa: E402
+from repro.tensorir import SketchConfig, SketchGenerator, matmul_subgraph  # noqa: E402
+from repro.utils.rng import stream  # noqa: E402
+from repro.utils.timer import Timer, best_of, format_seconds  # noqa: E402
+
+BATCH = 10_000
+REPEATS = 3
+OUT_PATH = REPO_ROOT / "BENCH_simhw.json"
+
+_SUB = matmul_subgraph(128, 128, 128)
+_INTEL = PLATFORMS["platinum-8272"]
+
+
+def main() -> int:
+    with Timer() as t_gen:
+        cpu_corpus = SketchGenerator(SketchConfig("cpu")).generate_many(
+            _SUB, BATCH, stream("bench.simhw.save.cpu"))
+        gpu_corpus = SketchGenerator(SketchConfig("gpu")).generate_many(
+            _SUB, BATCH, stream("bench.simhw.save.gpu"))
+
+    t_extract = best_of(lambda: extract_features(_SUB, cpu_corpus, _INTEL), REPEATS)
+    t_cpu = best_of(lambda: measure_many(_SUB, cpu_corpus, _INTEL), REPEATS)
+    t_gpu = best_of(lambda: measure_many(_SUB, gpu_corpus, PLATFORMS["t4"]), REPEATS)
+
+    digest = hashlib.sha256()
+    with Timer() as t_sweep:
+        for platform in ALL_PLATFORMS:
+            corpus = cpu_corpus if platform.target == "cpu" else gpu_corpus
+            latencies = measure_many(_SUB, corpus, platform)
+            assert np.all(latencies > 0)
+            digest.update(latencies.tobytes())
+
+    report = {
+        "benchmark": "simhw",
+        "batch": BATCH,
+        "platforms": len(ALL_PLATFORMS),
+        "timings_ms": {
+            "generate_2x10k": round(t_gen.elapsed * 1e3, 3),
+            "extract_features_10k": round(t_extract * 1e3, 3),
+            "measure_many_cpu_10k": round(t_cpu * 1e3, 3),
+            "measure_many_gpu_10k": round(t_gpu * 1e3, 3),
+            "sweep_all_platforms": round(t_sweep.elapsed * 1e3, 3),
+        },
+        "throughput": {
+            "cpu_labels_per_sec": round(BATCH / t_cpu, 1),
+            "gpu_labels_per_sec": round(BATCH / t_gpu, 1),
+        },
+        "budget": {"labels_10k_budget_s": 10.0, "labels_10k_measured_s": round(t_cpu, 4)},
+        "latency_digest_sha256": digest.hexdigest(),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {OUT_PATH}")
+    for name, ms in report["timings_ms"].items():
+        print(f"  {name:>24}: {format_seconds(ms / 1e3)}")
+    for name, value in report["throughput"].items():
+        print(f"  {name:>24}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Micro-benchmarks pinning the simulated-hardware perf claims (ISSUE 5).
+
+The acceptance claim: ``measure_many`` labels 10,000 verified schedules
+on one platform in under 10 s on a single core.  In practice the batch
+costing is two orders of magnitude inside that budget — the vectorized
+``NestFeatures`` planes mean the per-schedule cost is ``Schedule.apply``
+plus a constant share of a handful of ``[N, D]`` array expressions.
+``make bench-save`` records the exact numbers into ``BENCH_simhw.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simhw import PLATFORMS, measure, measure_many
+from repro.simhw.measure import extract_features
+from repro.tensorir import SketchConfig, SketchGenerator, matmul_subgraph
+from repro.utils.rng import stream
+from repro.utils.timer import best_of
+
+BATCH = 10_000
+_SUB = matmul_subgraph(128, 128, 128)
+_INTEL = PLATFORMS["platinum-8272"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    gen = SketchGenerator(SketchConfig("cpu"))
+    return gen.generate_many(_SUB, BATCH, stream("bench.simhw"))
+
+
+@pytest.fixture(scope="module")
+def gpu_corpus():
+    gen = SketchGenerator(SketchConfig("gpu"))
+    return gen.generate_many(_SUB, BATCH, stream("bench.simhw.gpu"))
+
+
+def test_measure_many_cpu(benchmark, corpus):
+    latencies = benchmark(measure_many, _SUB, corpus, _INTEL)
+    assert latencies.shape == (BATCH,) and np.all(latencies > 0)
+
+
+def test_measure_many_gpu(benchmark, gpu_corpus):
+    latencies = benchmark(measure_many, _SUB, gpu_corpus, PLATFORMS["t4"])
+    assert latencies.shape == (BATCH,) and np.all(latencies > 0)
+
+
+def test_feature_extraction_only(benchmark, corpus):
+    """Schedule.apply + plane flattening — the non-vectorizable share."""
+    features = benchmark(extract_features, _SUB, corpus, _INTEL)
+    assert features.n == BATCH
+
+
+def test_measure_loop_small(benchmark, corpus):
+    """The per-schedule path, for the batch-vs-loop ratio (256 singles)."""
+    subset = corpus[:256]
+    out = benchmark(lambda: [measure(_SUB, s, _INTEL) for s in subset])
+    assert len(out) == 256
+
+
+def test_perf_claims(benchmark, corpus):
+    """Assert the ISSUE 5 acceptance budget with a wide margin."""
+
+    def measure_once():
+        return best_of(lambda: measure_many(_SUB, corpus, _INTEL), repeats=3)
+
+    seconds = benchmark.pedantic(measure_once, rounds=1, iterations=1)
+    assert seconds < 10.0, f"10k labels took {seconds:.2f}s (budget 10s)"

@@ -27,6 +27,7 @@ _REQUIRES = {
         "repro.baselines",
     ),
     "bench_extractor.py": ("repro.core",),
+    "bench_simhw.py": ("repro.simhw",),
     "bench_nn.py": ("repro.nn", "repro.core.tlp_model"),
     "bench_inference.py": ("repro.nn.functional", "repro.core.tlp_model",
                            "repro.core.scoring"),

@@ -13,6 +13,9 @@ Currently present:
   attention cost model.
 * ``repro.nn``       — from-scratch numpy autograd + NN substrate (layers,
   attention, losses, optimizers, gradient checking).
+* ``repro.simhw``    — deterministic simulated-hardware latency substrate:
+  7 analytical platform models (5 CPU, 2 GPU) standing in for the TenSet
+  measurement farm.
 """
 
 from __future__ import annotations
@@ -28,6 +31,15 @@ from repro.analysis import (
     verify_sequence,
 )
 from repro.core import PostprocessConfig, TLPFeaturizer, TLPModel, TLPModelConfig
+from repro.simhw import (
+    ALL_PLATFORMS,
+    LatencyRecord,
+    Platform,
+    get_platform,
+    labels_from_latencies,
+    measure,
+    measure_many,
+)
 from repro.tensorir import (
     Axis,
     Loop,
@@ -46,12 +58,15 @@ from repro.tensorir import (
 
 __all__ = [
     "__version__",
+    "ALL_PLATFORMS",
     "Axis",
     "Diagnostic",
     "InvalidScheduleError",
+    "LatencyRecord",
     "Loop",
     "LoopKind",
     "LoopNest",
+    "Platform",
     "PostprocessConfig",
     "Primitive",
     "PrimitiveKind",
@@ -65,6 +80,10 @@ __all__ = [
     "TLPFeaturizer",
     "TLPModel",
     "TLPModelConfig",
+    "get_platform",
+    "labels_from_latencies",
+    "measure",
+    "measure_many",
     "sample_schedule",
     "verify_many",
     "verify_schedule",

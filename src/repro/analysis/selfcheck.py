@@ -9,6 +9,10 @@ Rules:
 * ``SC103`` — no float64 literals (``np.float64`` / ``dtype="float64"``)
   in NN compute paths (modules under ``nn``/``core``/``simhw``): the NN
   substrate is pure float32.
+* ``SC104`` — no ``time`` module in simulated-measurement paths (modules
+  under ``simhw``): a simulated latency is a pure function of
+  (subgraph, schedule, platform, root seed), and any wall-clock read in
+  that path would silently break bit-reproducibility.
 
 A line containing ``selfcheck: allow`` suppresses findings on that line.
 Runnable as ``python -m repro.analysis.selfcheck [paths...]`` (defaults to
@@ -29,12 +33,17 @@ RNG_MODULE_SUFFIX = "repro/utils/rng.py"
 #: Path components marking float32-only compute paths for SC103.
 COMPUTE_PATH_PARTS = frozenset({"nn", "core", "simhw"})
 
+#: Path components marking deterministic simulated-measurement paths for
+#: SC104 — no wall clock may leak into a simulated latency.
+SIMHW_PATH_PARTS = frozenset({"simhw"})
+
 SUPPRESS_TOKEN = "selfcheck: allow"
 
 RULES: dict[str, str] = {
     "SC101": "np.random access outside repro.utils.rng (use named seeded streams)",
     "SC102": "mutable default argument",
     "SC103": "float64 literal in an NN compute path (float32 only)",
+    "SC104": "time module in a simhw measurement path (simulated latency must be wall-clock-free)",
 }
 
 _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"})
@@ -60,6 +69,7 @@ class _Checker(ast.NodeVisitor):
         posix = Path(path).as_posix()
         self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
         self.is_compute_path = bool(COMPUTE_PATH_PARTS & set(Path(posix).parts))
+        self.is_simhw_path = bool(SIMHW_PATH_PARTS & set(Path(posix).parts))
 
     def _suppressed(self, lineno: int) -> bool:
         if 1 <= lineno <= len(self.lines):
@@ -79,6 +89,8 @@ class _Checker(ast.NodeVisitor):
                 self.numpy_aliases.add(alias.asname or "numpy")
             elif alias.name.startswith("numpy.random") and not self.is_rng_module:
                 self._flag(node, "SC101", f"import of {alias.name}")
+            if self.is_simhw_path and (alias.name == "time" or alias.name.startswith("time.")):
+                self._flag(node, "SC104", f"import of {alias.name}")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -88,6 +100,8 @@ class _Checker(ast.NodeVisitor):
                 self._flag(node, "SC101", f"import from {module}")
             elif module == "numpy" and any(a.name == "random" for a in node.names):
                 self._flag(node, "SC101", "import of numpy.random")
+        if self.is_simhw_path and (module == "time" or module.startswith("time.")):
+            self._flag(node, "SC104", f"import from {module}")
         self.generic_visit(node)
 
     def _is_np_random(self, node: ast.expr) -> bool:

@@ -37,6 +37,13 @@ from repro.tensorir.sketch import SketchGenerator
 from repro.tensorir.subgraph import Subgraph
 
 
+def _require_positive(name: str, value: int) -> int:
+    """Shared ``k``/``n`` validation so both scoring paths agree."""
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
 @dataclass(frozen=True)
 class ScoredTopK:
     """Result of one scoring round.
@@ -100,8 +107,7 @@ class CandidateScorer:
         by descending score; ties break toward the earlier index so the
         ranking is deterministic.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+        k = _require_positive("k", k)
         sequences = [_primitives_of(c) for c in candidates]
         diagnostics = verify_many(subgraph, sequences, target, stop_on_error=True)
         valid = [i for i, diags in enumerate(diagnostics) if not errors(diags)]
@@ -131,13 +137,16 @@ class CandidateScorer:
         """
         if self.generator is None:
             raise ValueError("propose_topk needs a SketchGenerator at construction")
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+        n = _require_positive("n", n)
+        k = _require_positive("k", k)
         schedules = self.generator.generate_many(subgraph, n, rng)
         scores = self.score(schedules)
         order = np.argsort(-scores, kind="stable")[:k]
+        # n_candidates reports what the generator actually produced, not
+        # the requested n — keeps n_scored honest if a generator ever
+        # over- or under-delivers.
         top = ScoredTopK(indices=order.astype(np.int64), scores=scores[order],
-                         n_candidates=n, n_invalid=0)
+                         n_candidates=len(schedules), n_invalid=0)
         return schedules, top
 
 

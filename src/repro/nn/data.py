@@ -63,10 +63,12 @@ class BatchLoader:
             indices = self._rng.permutation(n)
         else:
             indices = np.arange(n)
-        for start in range(0, len(self) * self.batch_size, self.batch_size):
+        # len(self) already accounts for drop_last (floor vs ceil division),
+        # so the batch count is the single source of truth here — no
+        # separate short-batch guard to fall out of sync with it.
+        for b in range(len(self)):
+            start = b * self.batch_size
             batch = indices[start : start + self.batch_size]
-            if self.drop_last and batch.shape[0] < self.batch_size:
-                return
             if self.labels is None:
                 yield self.X[batch], self.mask[batch]
             else:

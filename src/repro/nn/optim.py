@@ -21,9 +21,20 @@ class Optimizer:
         self.params = [p for p in params]
         if not self.params:
             raise ValueError("optimizer needs at least one parameter")
-        if lr <= 0.0:
-            raise ValueError(f"non-positive learning rate {lr}")
-        self.lr = float(lr)
+        self.lr = lr
+
+    @property
+    def lr(self) -> float:
+        return self._lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        # The single place the lr > 0 invariant is enforced: LR schedules
+        # assign ``optimizer.lr`` directly, so a schedule that decays to
+        # zero (silent no-op steps) fails loudly here instead.
+        if value <= 0.0:
+            raise ValueError(f"non-positive learning rate {value}")
+        self._lr = float(value)
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -97,6 +108,8 @@ class StepLR:
     def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
         if step_size < 1:
             raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if gamma <= 0.0:
+            raise ValueError(f"gamma must be > 0 to keep the lr positive, got {gamma}")
         self.optimizer = optimizer
         self.base_lr = optimizer.lr
         self.step_size = int(step_size)
@@ -110,13 +123,27 @@ class StepLR:
 
 
 class CosineLR:
-    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``.
 
-    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+    ``min_lr`` defaults to 1% of the base LR rather than 0.0: the
+    optimizer's contract is ``lr > 0`` (it rejects a zero lr at
+    construction), and a schedule that lands on exactly 0.0 at the final
+    epoch would turn every last-epoch ``step()`` into a silent no-op.
+    """
+
+    def __init__(
+        self, optimizer: Optimizer, total_epochs: int, min_lr: "float | None" = None
+    ):
         if total_epochs < 1:
             raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
         self.optimizer = optimizer
         self.base_lr = optimizer.lr
+        if min_lr is None:
+            min_lr = 0.01 * self.base_lr
+        if not 0.0 < min_lr <= self.base_lr:
+            raise ValueError(
+                f"min_lr must be in (0, base_lr={self.base_lr}], got {min_lr}"
+            )
         self.total_epochs = int(total_epochs)
         self.min_lr = float(min_lr)
         self.epoch = 0

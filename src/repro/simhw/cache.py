@@ -1,0 +1,252 @@
+"""Nest features and the tile-footprint / cache-hierarchy reuse model.
+
+The analytical models never walk :class:`repro.tensorir.loops.LoopNest`
+objects in their hot path — :class:`NestFeatures` flattens a batch of
+applied nests into right-aligned ``[N, D]`` float32/int8 arrays once, and
+every cost term in ``cpu_model``/``gpu_model`` is vectorized over the
+batch.  That is what lets ``measure_many`` label ~10k schedules in
+seconds on one core.
+
+The cache model (:func:`memory_cycles`) is a classic tile-reuse
+argument: for each cache level, find the deepest loop-suffix tile whose
+working set fits the level, then charge the traffic that tile generates
+against the next level's bandwidth.  Working-set size is approximated as
+``bytes_per_point * points ** REUSE_EXPONENT`` — the sublinear exponent
+stands in for inter-iteration reuse (a matmul tile of ``t`` points
+touches ~``t**(2/3)`` data).  Good multi-level tiling lands suffix
+products near the cache capacities and is rewarded with less traffic,
+which is exactly the signal the TLP cost model has to learn from split
+factors alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simhw.platform import Platform
+from repro.tensorir.loops import LoopKind, LoopNest
+from repro.tensorir.subgraph import Subgraph
+
+#: Loop-kind codes in the ``kinds`` feature plane (pad columns are SERIAL
+#: with extent 1, which every cost term treats as a no-op loop).
+K_SERIAL, K_PARALLEL, K_VECTORIZED, K_UNROLLED, K_BOUND = 0, 1, 2, 3, 4
+
+_KIND_CODE = {
+    LoopKind.SERIAL: K_SERIAL,
+    LoopKind.PARALLEL: K_PARALLEL,
+    LoopKind.VECTORIZED: K_VECTORIZED,
+    LoopKind.UNROLLED: K_UNROLLED,
+    LoopKind.BOUND: K_BOUND,
+}
+
+#: GPU thread-tag codes in the ``tags`` plane.
+TAG_NONE, TAG_BLOCK, TAG_THREAD, TAG_VTHREAD = 0, 1, 2, 3
+
+#: Bytes one iteration point keeps live (float32 accumulator proxy).
+BYTES_PER_POINT: float = 4.0
+
+#: Working set of a tile with ``t`` points is ``BYTES_PER_POINT * t**REUSE_EXPONENT``
+#: — the sublinear exponent models inter-iteration data reuse.
+REUSE_EXPONENT: float = 2.0 / 3.0
+
+#: Middle-loop extents >= this that are powers of two alias cache sets /
+#: shared-memory banks.  Kept equal to the verifier's W301 threshold
+#: (``repro.analysis.VerifierConfig.pow2_conflict_threshold``) so the
+#: static smell marks exactly what the simulated hardware punishes.
+POW2_CONFLICT_THRESHOLD: int = 64
+
+
+def _tag_code(thread_tag: str) -> int:
+    if not thread_tag:
+        return TAG_NONE
+    if thread_tag.startswith("blockIdx"):
+        return TAG_BLOCK
+    if thread_tag.startswith("threadIdx"):
+        return TAG_THREAD
+    return TAG_VTHREAD
+
+
+@dataclass
+class NestFeatures:
+    """A batch of applied loop nests, flattened for vectorized costing.
+
+    Loop planes (``extents``/``kinds``/``is_reduction``/``tags``) are
+    right-aligned: column ``D-1`` is each nest's innermost loop and the
+    left padding holds extent-1 serial loops, so suffix products and
+    "distance from innermost" are uniform array expressions.
+    """
+
+    n: int
+    depth: np.ndarray            # int32 [N]
+    extents: np.ndarray          # float32 [N, D]
+    kinds: np.ndarray            # int8 [N, D]
+    is_reduction: np.ndarray     # bool [N, D]
+    tags: np.ndarray             # int8 [N, D]
+    padded_points: np.ndarray    # float32 [N] — product of loop extents
+    domain_points: np.ndarray    # float32 [N] — subgraph's true domain size
+    flops_per_point: np.ndarray  # float32 [N]
+    unroll_step: np.ndarray      # float32 [N] — max auto_unroll_max_step pragma
+    cache_write: np.ndarray      # bool [N]
+    compute_at: np.ndarray       # bool [N]
+    inlined: np.ndarray          # bool [N]
+    rfactored: np.ndarray        # bool [N]
+    signatures: tuple[str, ...]  # program-shape signature per nest (quirk key)
+
+    @classmethod
+    def from_nests(
+        cls, subgraph: Subgraph, nests: Sequence[LoopNest]
+    ) -> "NestFeatures":
+        n = len(nests)
+        depth_list = [nest.depth for nest in nests]
+        d = max(depth_list, default=1)
+        d = max(d, 1)
+
+        extents = np.ones((n, d), dtype=np.float32)
+        kinds = np.zeros((n, d), dtype=np.int8)
+        is_red = np.zeros((n, d), dtype=bool)
+        tags = np.zeros((n, d), dtype=np.int8)
+        unroll = np.zeros(n, dtype=np.float32)
+        cache_write = np.zeros(n, dtype=bool)
+        compute_at = np.zeros(n, dtype=bool)
+        inlined = np.zeros(n, dtype=bool)
+        rfactored = np.zeros(n, dtype=bool)
+        signatures: list[str] = []
+
+        for i, nest in enumerate(nests):
+            start = d - nest.depth  # right-align: innermost in column d-1
+            sig_kinds: list[str] = []
+            for j, loop in enumerate(nest.loops, start=start):
+                extents[i, j] = loop.extent
+                code = _KIND_CODE[loop.kind]
+                kinds[i, j] = code
+                is_red[i, j] = loop.is_reduction
+                tags[i, j] = _tag_code(loop.thread_tag)
+                sig_kinds.append(str(code))
+                if loop.rfactored:
+                    rfactored[i] = True
+                for name, value in loop.pragmas:
+                    if name == "auto_unroll_max_step":
+                        unroll[i] = max(unroll[i], float(value))
+            cache_write[i] = nest.cache_write
+            compute_at[i] = bool(nest.compute_at_axis)
+            inlined[i] = nest.inlined
+            # Program-shape signature: coarse on purpose (DESIGN.md §6) —
+            # near-top candidates of one subgraph usually share it, so the
+            # quirk terms keyed on it cancel within a task and act across
+            # platforms instead.
+            signatures.append(
+                f"{subgraph.name}/{nest.depth}/{''.join(sig_kinds)}"
+                f"/cw{int(nest.cache_write)}rf{int(rfactored[i])}ci{int(nest.inlined)}"
+            )
+
+        domain = np.full(n, float(subgraph.total_points), dtype=np.float32)
+        flops = np.full(n, float(subgraph.flops_per_point), dtype=np.float32)
+        return cls(
+            n=n,
+            depth=np.asarray(depth_list, dtype=np.int32),
+            extents=extents,
+            kinds=kinds,
+            is_reduction=is_red,
+            tags=tags,
+            padded_points=extents.prod(axis=1, dtype=np.float32),
+            domain_points=domain,
+            flops_per_point=flops,
+            unroll_step=unroll,
+            cache_write=cache_write,
+            compute_at=compute_at,
+            inlined=inlined,
+            rfactored=rfactored,
+            signatures=tuple(signatures),
+        )
+
+    def suffix_products(self) -> np.ndarray:
+        """``sp[:, j] = prod(extents[:, j:])`` — the loop-suffix tile sizes."""
+        return np.cumprod(self.extents[:, ::-1], axis=1, dtype=np.float32)[:, ::-1]
+
+
+def tile_points(suffix_products: np.ndarray, capacity_points: float) -> np.ndarray:
+    """Largest loop-suffix tile (in points) fitting ``capacity_points``.
+
+    Suffix products shrink monotonically toward the innermost loop, so
+    this is the deepest tile a cache of that capacity can hold; 1.0 when
+    even the innermost loop overflows it (register-only reuse).
+    """
+    cap = np.float32(capacity_points)
+    fits = suffix_products <= cap
+    best = np.where(fits, suffix_products, np.float32(1.0)).max(axis=1)
+    return np.maximum(best, np.float32(1.0))
+
+
+def memory_cycles(features: NestFeatures, platform: Platform) -> np.ndarray:
+    """Per-nest memory cycles from the multi-level tile-reuse walk.
+
+    For each cache level: the resident tile of ``t`` points generates
+    ``bytes(t) = BYTES_PER_POINT * t**REUSE_EXPONENT`` of traffic from
+    the level below per traversal, and the nest traverses
+    ``padded_points / t`` tiles — so total traffic is
+    ``padded_points * BYTES_PER_POINT * t**(REUSE_EXPONENT-1)`` charged
+    at that link's bytes/cycle.  Bigger resident tiles (better tiling)
+    mean strictly less traffic.
+    """
+    sp = features.suffix_products()
+    total = np.zeros(features.n, dtype=np.float32)
+    for size_kb, bytes_per_cycle in zip(platform.cache_kb, platform.cache_bw):
+        # Invert bytes(t) <= capacity to a point capacity for the tile walk.
+        capacity_points = (size_kb * 1024.0 / BYTES_PER_POINT) ** (1.0 / REUSE_EXPONENT)
+        t = tile_points(sp, capacity_points)
+        traffic = features.padded_points * np.float32(BYTES_PER_POINT) * t ** np.float32(
+            REUSE_EXPONENT - 1.0
+        )
+        total += traffic / np.float32(bytes_per_cycle)
+    # A write-cache stage pays off when the producer is anchored under a
+    # consumer loop (CHW + CA keeps the accumulator tile resident); a
+    # floating write cache just adds a copy-out pass.
+    cw_at = features.cache_write & features.compute_at
+    cw_floating = features.cache_write & ~features.compute_at
+    total = total * np.where(cw_at, np.float32(0.85), np.float32(1.0))
+    total = total * np.where(cw_floating, np.float32(1.06), np.float32(1.0))
+    return total
+
+
+def conflict_counts(features: NestFeatures) -> np.ndarray:
+    """Per-nest count of large power-of-two *middle* loop extents.
+
+    The W301 analogue (DESIGN.md §6): extents >= POW2_CONFLICT_THRESHOLD
+    that are exact powers of two on loops that are neither the outermost
+    real loop nor the innermost alias cache sets (CPU) or shared-memory
+    banks (GPU).  The per-platform penalty is applied by the models.
+    """
+    d = features.extents.shape[1]
+    cols = np.arange(d)
+    outer_col = (d - features.depth)[:, None]  # first real column per nest
+    middle = (cols[None, :] > outer_col) & (cols[None, :] < d - 1)
+    e_int = features.extents.astype(np.int64)
+    pow2 = (
+        (e_int >= POW2_CONFLICT_THRESHOLD)
+        & ((e_int & (e_int - 1)) == 0)
+        & (e_int.astype(np.float32) == features.extents)
+    )
+    return (middle & pow2).sum(axis=1).astype(np.float32)
+
+
+__all__ = [
+    "BYTES_PER_POINT",
+    "K_BOUND",
+    "K_PARALLEL",
+    "K_SERIAL",
+    "K_UNROLLED",
+    "K_VECTORIZED",
+    "NestFeatures",
+    "POW2_CONFLICT_THRESHOLD",
+    "REUSE_EXPONENT",
+    "TAG_BLOCK",
+    "TAG_NONE",
+    "TAG_THREAD",
+    "TAG_VTHREAD",
+    "conflict_counts",
+    "memory_cycles",
+    "tile_points",
+]

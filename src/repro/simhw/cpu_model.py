@@ -1,0 +1,181 @@
+"""Analytical CPU latency: vectorization, parallelization, conflicts.
+
+Consumes :class:`repro.simhw.cache.NestFeatures` built from
+``Schedule.apply`` output and a :class:`repro.simhw.platform.Platform`,
+and returns per-nest seconds (before the deterministic quirk term that
+``repro.simhw.measure`` applies).  Every term is vectorized over the
+batch; nothing here walks Python loop objects.
+
+The model is deliberately simple but *schedule-sensitive* in exactly the
+ways the paper needs (DESIGN.md §2): latency improves with an innermost
+vectorized loop near the SIMD width, an outermost parallel loop whose
+extent divides the core count, multi-level tiles that fit the cache
+hierarchy, and moderate unrolling — and degrades with power-of-two
+middle-loop extents (the W301 conflict smell), over-unrolling past the
+platform's icache cap, padding, and misplaced annotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simhw.cache import (
+    K_PARALLEL,
+    K_UNROLLED,
+    K_VECTORIZED,
+    NestFeatures,
+    memory_cycles,
+)
+from repro.simhw.cache import conflict_counts as _conflict_counts
+from repro.simhw.platform import Platform
+
+#: Efficiency of vector ops narrower than the machine width (masked lanes).
+SHORT_VEC_EFF: float = 0.85
+#: Fraction of the vector speedup retained per loop level separating the
+#: vectorized loop from the innermost position (strided access decay).
+VEC_POS_DECAY: float = 0.35
+#: Fraction of the parallel speedup retained per level separating the
+#: parallel loop from the outermost position.
+PAR_POS_DECAY: float = 0.5
+#: Vectorized reductions keep this fraction of the speedup (horizontal adds).
+RED_VEC_EFF: float = 0.6
+#: Per-``unroll`` annotation compute discount.
+UNROLL_ANNOTATION_GAIN: float = 0.04
+#: Compute+memory multiplier for compute-inlined (fused-away) stages.
+INLINE_DISCOUNT: float = 0.35
+#: rfactor turns a serial reduction tail into a parallel one.
+RFACTOR_GAIN: float = 0.96
+
+
+def _innermost_of(features: NestFeatures, code: int) -> tuple[np.ndarray, np.ndarray]:
+    """(column, present) of the innermost loop with the given kind code."""
+    d = features.kinds.shape[1]
+    cols = np.arange(d)
+    mask = features.kinds == code
+    j = np.where(mask, cols[None, :], -1).max(axis=1)
+    return j, j >= 0
+
+
+def vector_speedup(features: NestFeatures, platform: Platform) -> np.ndarray:
+    """Effective SIMD speedup per nest, >= 1."""
+    j, present = _innermost_of(features, K_VECTORIZED)
+    rows = np.arange(features.n)
+    j_safe = np.maximum(j, 0)
+    v = features.extents[rows, j_safe]
+    is_red = features.is_reduction[rows, j_safe]
+    w = np.float32(platform.vector_width)
+    # v/ceil(v/w): w-lane ops with tail underutilization; short vectors run
+    # masked at SHORT_VEC_EFF of their own width.
+    s = v / np.ceil(v / w)
+    s = np.where(v < w, v * np.float32(SHORT_VEC_EFF), s)
+    s = np.where(is_red, np.float32(1.0) + (s - np.float32(1.0)) * np.float32(RED_VEC_EFF), s)
+    # Vectorizing anything but the innermost loop strides memory: decay the
+    # benefit per level separating it from the innermost position.
+    d = features.kinds.shape[1]
+    dist = (d - 1 - j_safe).astype(np.float32)
+    s = np.float32(1.0) + (s - np.float32(1.0)) * np.float32(VEC_POS_DECAY) ** dist
+    return np.where(present, np.maximum(s, np.float32(1.0)), np.float32(1.0))
+
+
+def parallel_speedup(
+    features: NestFeatures, platform: Platform
+) -> tuple[np.ndarray, np.ndarray]:
+    """(effective parallel speedup >= 1, scheduling-overhead cycles)."""
+    d = features.kinds.shape[1]
+    cols = np.arange(d)
+    mask = features.kinds == K_PARALLEL
+    present = mask.any(axis=1)
+    p = np.where(mask, features.extents, np.float32(1.0)).prod(axis=1, dtype=np.float32)
+    # Round-robin imbalance: p chunks over c cores take ceil(p/c) waves.
+    c = np.float32(platform.cores)
+    waves = np.ceil(p / c)
+    s = p / waves
+    # The parallel loop should be outermost; decay per level it sits inside.
+    j_par = np.where(mask, cols[None, :], d).min(axis=1)
+    outer_col = d - features.depth
+    dist = np.maximum(j_par - outer_col, 0).astype(np.float32)
+    s = np.float32(1.0) + (s - np.float32(1.0)) * np.float32(PAR_POS_DECAY) ** dist
+    s = np.where(present, np.maximum(s, np.float32(1.0)), np.float32(1.0))
+    overhead = np.where(
+        present, p * np.float32(platform.parallel_task_cycles), np.float32(0.0)
+    )
+    return s, overhead
+
+
+def unroll_multiplier(features: NestFeatures, platform: Platform) -> np.ndarray:
+    """Compute-cycle multiplier from unroll pragmas/annotations (<= or > 1)."""
+    u = features.unroll_step
+    gain = np.float32(platform.unroll_gain) * u / (u + np.float32(32.0))
+    mult = np.float32(1.0) - gain
+    over = u > np.float32(platform.unroll_cap)
+    icache = np.float32(1.0) + np.float32(platform.icache_penalty) * np.log2(
+        np.maximum(u, np.float32(1.0)) / np.float32(platform.unroll_cap) + np.float32(1.0)
+    )
+    mult = mult * np.where(over, icache, np.float32(1.0))
+    n_unroll_ann = (features.kinds == K_UNROLLED).sum(axis=1).astype(np.float32)
+    mult = mult * (np.float32(1.0) - np.float32(UNROLL_ANNOTATION_GAIN)) ** n_unroll_ann
+    return mult
+
+
+def _conflict_factor(features: NestFeatures, platform: Platform) -> np.ndarray:
+    """Latency multiplier from power-of-two middle-loop extents.
+
+    The DESIGN.md §6 tile-extent conflict term: each large pow2 middle
+    extent aliases cache sets, multiplying latency by
+    ``1 + conflict_penalty``.  A fixed feature summary cannot see
+    per-loop extents; the primitive sequence can — the paper's premise.
+    """
+    n_conf = _conflict_counts(features)
+    return (np.float32(1.0) + np.float32(platform.conflict_penalty)) ** n_conf
+
+
+def latency_seconds(
+    features: NestFeatures, platform: Platform
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Per-nest latency in seconds plus the term breakdown.
+
+    ``latency = (compute/vec/unroll + memory) / parallel + overhead``,
+    scaled by the conflict factor and the platform clock.  Memory
+    parallelism saturates at ``mem_parallel_scale`` (shared bandwidth).
+    """
+    if platform.target != "cpu":
+        raise ValueError(f"cpu_model got non-CPU platform {platform.name!r}")
+    work = features.padded_points * features.flops_per_point
+    compute = work / np.float32(platform.flops_per_cycle)
+    compute = compute / vector_speedup(features, platform)
+    compute = compute * unroll_multiplier(features, platform)
+
+    mem = memory_cycles(features, platform)
+    par, overhead = parallel_speedup(features, platform)
+    mem_par = np.minimum(par, np.float32(platform.mem_parallel_scale))
+
+    conflict = _conflict_factor(features, platform)
+    cycles = compute / par + mem / mem_par + overhead
+    cycles = cycles * conflict
+    cycles = cycles * np.where(features.rfactored, np.float32(RFACTOR_GAIN), np.float32(1.0))
+    cycles = cycles * np.where(features.inlined, np.float32(INLINE_DISCOUNT), np.float32(1.0))
+
+    seconds = cycles / np.float32(platform.freq_ghz * 1e9)
+    breakdown = {
+        "compute_cycles": compute,
+        "memory_cycles": mem,
+        "overhead_cycles": overhead,
+        "parallel_speedup": par,
+        "conflict_factor": conflict,
+    }
+    return seconds.astype(np.float32), breakdown
+
+
+__all__ = [
+    "INLINE_DISCOUNT",
+    "PAR_POS_DECAY",
+    "RED_VEC_EFF",
+    "RFACTOR_GAIN",
+    "SHORT_VEC_EFF",
+    "UNROLL_ANNOTATION_GAIN",
+    "VEC_POS_DECAY",
+    "latency_seconds",
+    "parallel_speedup",
+    "unroll_multiplier",
+    "vector_speedup",
+]

@@ -1,0 +1,133 @@
+"""Analytical GPU latency: occupancy, warp efficiency, bank conflicts.
+
+The GPU counterpart of ``cpu_model``: consumes the same
+:class:`repro.simhw.cache.NestFeatures` batch and a CUDA
+:class:`~repro.simhw.platform.Platform`, returning per-nest seconds
+before the quirk term.  Thread geometry comes from the ``bind.*``
+annotations the schedule applied: ``blockIdx.*`` extents form the grid,
+``threadIdx.*``/``vthread`` extents the block.
+
+Schedule sensitivity mirrors real CUDA folklore: warp-aligned block
+sizes (multiples of 32) beat ragged ones, occupancy saturates the SMs,
+power-of-two middle-loop extents hit shared-memory bank conflicts (the
+same W301 smell the CPU model punishes as cache-set aliasing), and an
+innermost vectorized loop stands in for coalesced/vector loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simhw.cache import (
+    K_VECTORIZED,
+    TAG_BLOCK,
+    TAG_THREAD,
+    TAG_VTHREAD,
+    NestFeatures,
+    memory_cycles,
+)
+from repro.simhw.cache import conflict_counts as _conflict_counts
+from repro.simhw.platform import Platform
+
+#: Warp width of every simulated CUDA platform.
+WARP: float = 32.0
+#: Occupancy at which latency hiding reaches half effectiveness.
+OCCUPANCY_HALF: float = 0.25
+#: Per-block scheduling overhead (cycles).
+BLOCK_OVERHEAD_CYCLES: float = 600.0
+#: Kernel-launch floor (cycles).
+LAUNCH_CYCLES: float = 4000.0
+#: Max speedup from an innermost vectorized loop (ld.global.v4 proxy).
+VEC_LOAD_GAIN: float = 0.45
+
+
+def thread_geometry(features: NestFeatures) -> tuple[np.ndarray, np.ndarray]:
+    """(grid blocks, threads per block) from the bound-loop extents."""
+    block_mask = features.tags == TAG_BLOCK
+    thread_mask = (features.tags == TAG_THREAD) | (features.tags == TAG_VTHREAD)
+    grid = np.where(block_mask, features.extents, np.float32(1.0)).prod(
+        axis=1, dtype=np.float32
+    )
+    tpb = np.where(thread_mask, features.extents, np.float32(1.0)).prod(
+        axis=1, dtype=np.float32
+    )
+    return grid, tpb
+
+
+def occupancy_efficiency(
+    grid: np.ndarray, tpb: np.ndarray, platform: Platform
+) -> tuple[np.ndarray, np.ndarray]:
+    """(warp utilization, occupancy-saturation efficiency), each in (0, 1]."""
+    warp_util = tpb / (np.ceil(tpb / np.float32(WARP)) * np.float32(WARP))
+    device_threads = np.float32(platform.cores * platform.max_threads_per_sm)
+    concurrent = np.minimum(grid * tpb, device_threads)
+    util = concurrent / device_threads
+    occ_half = np.float32(OCCUPANCY_HALF)
+    occ_eff = util * (np.float32(1.0) + occ_half) / (util + occ_half)
+    return warp_util.astype(np.float32), occ_eff.astype(np.float32)
+
+
+def _vector_load_speedup(features: NestFeatures) -> np.ndarray:
+    """Innermost vectorized loop as a coalesced/vector-load proxy."""
+    d = features.kinds.shape[1]
+    innermost_vec = features.kinds[:, d - 1] == K_VECTORIZED
+    v = np.minimum(features.extents[:, d - 1], np.float32(4.0))
+    gain = np.float32(1.0) + np.float32(VEC_LOAD_GAIN) * (v - np.float32(1.0)) / np.float32(3.0)
+    return np.where(innermost_vec, gain, np.float32(1.0))
+
+
+def bank_conflict_factor(features: NestFeatures, platform: Platform) -> np.ndarray:
+    """Shared-memory bank-conflict analogue of the CPU cache-set term."""
+    n_conf = _conflict_counts(features)
+    return (np.float32(1.0) + np.float32(platform.conflict_penalty)) ** n_conf
+
+
+def latency_seconds(
+    features: NestFeatures, platform: Platform
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Per-nest latency in seconds plus the term breakdown."""
+    if platform.target != "gpu":
+        raise ValueError(f"gpu_model got non-GPU platform {platform.name!r}")
+    grid, tpb = thread_geometry(features)
+    warp_util, occ_eff = occupancy_efficiency(grid, tpb, platform)
+
+    work = features.padded_points * features.flops_per_point
+    lanes = np.float32(platform.cores * platform.lanes_per_sm)
+    throughput = np.maximum(
+        lanes * warp_util * occ_eff * _vector_load_speedup(features), np.float32(1.0)
+    )
+    compute = work / np.float32(platform.flops_per_cycle) / throughput
+
+    # Device-wide bandwidth: cache_bw is already whole-chip bytes/cycle, so
+    # memory cycles shrink only through occupancy (more in-flight requests).
+    mem = memory_cycles(features, platform) / np.maximum(occ_eff, np.float32(1e-3))
+    overhead = np.float32(LAUNCH_CYCLES) + grid * np.float32(BLOCK_OVERHEAD_CYCLES) / np.maximum(
+        np.float32(platform.cores), np.float32(1.0)
+    )
+
+    conflict = bank_conflict_factor(features, platform)
+    cycles = (compute + mem + overhead) * conflict
+    cycles = cycles * np.where(features.inlined, np.float32(0.35), np.float32(1.0))
+
+    seconds = cycles / np.float32(platform.freq_ghz * 1e9)
+    breakdown = {
+        "compute_cycles": compute,
+        "memory_cycles": mem,
+        "overhead_cycles": overhead,
+        "parallel_speedup": grid * tpb,
+        "conflict_factor": conflict,
+    }
+    return seconds.astype(np.float32), breakdown
+
+
+__all__ = [
+    "BLOCK_OVERHEAD_CYCLES",
+    "LAUNCH_CYCLES",
+    "OCCUPANCY_HALF",
+    "VEC_LOAD_GAIN",
+    "WARP",
+    "bank_conflict_factor",
+    "latency_seconds",
+    "occupancy_efficiency",
+    "thread_geometry",
+]

@@ -1,0 +1,188 @@
+"""The 7 simulated hardware platforms (DESIGN.md §2/§3).
+
+Each :class:`Platform` is a frozen coefficient set for the analytical
+latency models in ``cpu_model``/``gpu_model`` — clock, core count, SIMD
+width, cache hierarchy, parallelization overheads, and the conflict /
+unroll penalty knobs — mirroring the five CPUs and two GPUs of the
+TenSet dataset the paper trains on (Table 5).
+
+Two structural properties matter downstream:
+
+* **ISA families** (``isa``): the four x86 CPUs share one family, the
+  ARM Graviton2 and the two CUDA GPUs are their own.  Same-family
+  platforms get correlated micro-architectural "quirk" terms (see
+  ``measure.quirk_multipliers``) and similar coefficient sets, so
+  rankings correlate within a family and drift across families — the
+  domain-shift structure Table 9's MTL experiments require.
+* **Determinism**: a platform is pure data.  Everything stochastic about
+  the simulation flows through named ``repro.utils.rng`` streams keyed
+  on (platform, program signature, root seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Coefficients of one simulated device.
+
+    CPU and GPU platforms share the dataclass; the GPU-only fields
+    (``lanes_per_sm``, ``max_threads_per_sm``) are zero on CPUs and
+    ``cores`` counts SMs on GPUs.  ``cache_kb``/``cache_bw`` describe
+    the memory hierarchy small-to-large: for CPUs (L1, L2, L3) with the
+    bytes-per-cycle feeding each tile level from the level below it
+    (L2→L1, L3→L2, DRAM→L3); for GPUs (shared memory, L2) with
+    (L2→shared, DRAM→L2).
+    """
+
+    name: str
+    isa: str               # "x86" | "aarch64" | "cuda" — the Table 9 family
+    vendor: str            # "intel" | "amd" | "arm" | "nvidia"
+    target: str            # "cpu" | "gpu" — must match Schedule.target
+    freq_ghz: float        # core clock
+    cores: int             # physical cores (CPU) / SMs (GPU)
+    vector_width: int      # float32 SIMD lanes per op
+    flops_per_cycle: float  # scalar f32 FLOPs per core-cycle (FMA/ILP proxy)
+    cache_kb: tuple[float, ...]   # capacities, small -> large
+    cache_bw: tuple[float, ...]   # bytes/cycle from the next level down
+    mem_parallel_scale: float     # how far cores can scale shared bandwidth
+    parallel_task_cycles: float   # per-chunk scheduling overhead (CPU fork/join)
+    conflict_penalty: float       # per pow2 middle-loop extent (W301 analogue)
+    unroll_cap: int               # auto_unroll_max_step beyond this thrashes icache
+    unroll_gain: float            # peak speedup fraction from unrolling
+    icache_penalty: float         # multiplier slope past unroll_cap
+    quirk_isa_scale: float        # shared-within-family quirk magnitude
+    quirk_platform_scale: float   # platform-private quirk magnitude
+    lanes_per_sm: int = 0         # CUDA cores per SM (GPU only)
+    max_threads_per_sm: int = 0   # resident-thread ceiling (GPU only)
+
+    def __post_init__(self) -> None:
+        if self.target not in ("cpu", "gpu"):
+            raise ValueError(f"platform {self.name!r} has unknown target {self.target!r}")
+        if len(self.cache_kb) != len(self.cache_bw):
+            raise ValueError(
+                f"platform {self.name!r}: cache_kb and cache_bw lengths differ"
+            )
+        if self.target == "gpu" and (self.lanes_per_sm < 1 or self.max_threads_per_sm < 1):
+            raise ValueError(f"GPU platform {self.name!r} needs lanes_per_sm/max_threads_per_sm")
+
+
+# -- the seven TenSet-like platforms ----------------------------------------
+#
+# Shapes are stylized from the real parts' datasheets (clocks, core counts,
+# SIMD widths, cache sizes); the penalty coefficients are calibrated so the
+# paper-shaped properties hold (tests/test_simhw.py): good tiling /
+# vectorization / parallelism lower latency, W301 conflicts raise it, and
+# rankings correlate within an ISA family but not across (Table 9).
+
+PLATINUM_8272 = Platform(
+    name="platinum-8272", isa="x86", vendor="intel", target="cpu",
+    freq_ghz=2.6, cores=26, vector_width=16, flops_per_cycle=4.0,
+    cache_kb=(32.0, 1024.0, 36608.0), cache_bw=(64.0, 30.0, 12.0),
+    mem_parallel_scale=8.0, parallel_task_cycles=2400.0,
+    conflict_penalty=0.18, unroll_cap=512, unroll_gain=0.14, icache_penalty=0.20,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.045,
+)
+
+E5_2673 = Platform(
+    name="e5-2673", isa="x86", vendor="intel", target="cpu",
+    freq_ghz=2.3, cores=20, vector_width=8, flops_per_cycle=4.0,
+    cache_kb=(32.0, 256.0, 51200.0), cache_bw=(48.0, 24.0, 10.0),
+    mem_parallel_scale=7.0, parallel_task_cycles=2600.0,
+    conflict_penalty=0.16, unroll_cap=512, unroll_gain=0.13, icache_penalty=0.22,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.045,
+)
+
+I7_10510U = Platform(
+    name="i7-10510u", isa="x86", vendor="intel", target="cpu",
+    freq_ghz=2.3, cores=4, vector_width=8, flops_per_cycle=4.0,
+    cache_kb=(32.0, 256.0, 8192.0), cache_bw=(48.0, 24.0, 8.0),
+    mem_parallel_scale=2.0, parallel_task_cycles=1800.0,
+    conflict_penalty=0.15, unroll_cap=512, unroll_gain=0.13, icache_penalty=0.22,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.05,
+)
+
+EPYC_7452 = Platform(
+    name="epyc-7452", isa="x86", vendor="amd", target="cpu",
+    freq_ghz=2.35, cores=32, vector_width=8, flops_per_cycle=4.0,
+    cache_kb=(32.0, 512.0, 131072.0), cache_bw=(48.0, 28.0, 12.0),
+    mem_parallel_scale=8.0, parallel_task_cycles=2500.0,
+    conflict_penalty=0.10, unroll_cap=512, unroll_gain=0.12, icache_penalty=0.18,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.06,
+)
+
+GRAVITON2 = Platform(
+    name="graviton2", isa="aarch64", vendor="arm", target="cpu",
+    freq_ghz=2.5, cores=64, vector_width=4, flops_per_cycle=2.0,
+    cache_kb=(64.0, 1024.0, 32768.0), cache_bw=(32.0, 24.0, 10.0),
+    mem_parallel_scale=10.0, parallel_task_cycles=2200.0,
+    conflict_penalty=0.06, unroll_cap=256, unroll_gain=0.10, icache_penalty=0.30,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.05,
+)
+
+K80 = Platform(
+    name="k80", isa="cuda", vendor="nvidia", target="gpu",
+    freq_ghz=0.82, cores=13, vector_width=4, flops_per_cycle=2.0,
+    cache_kb=(48.0, 1536.0), cache_bw=(32.0, 16.0),
+    mem_parallel_scale=1.0, parallel_task_cycles=0.0,
+    conflict_penalty=0.25, unroll_cap=64, unroll_gain=0.10, icache_penalty=0.25,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.05,
+    lanes_per_sm=192, max_threads_per_sm=2048,
+)
+
+T4 = Platform(
+    name="t4", isa="cuda", vendor="nvidia", target="gpu",
+    freq_ghz=1.59, cores=40, vector_width=4, flops_per_cycle=2.0,
+    cache_kb=(64.0, 4096.0), cache_bw=(64.0, 24.0),
+    mem_parallel_scale=1.0, parallel_task_cycles=0.0,
+    conflict_penalty=0.15, unroll_cap=128, unroll_gain=0.12, icache_penalty=0.20,
+    quirk_isa_scale=0.6, quirk_platform_scale=0.05,
+    lanes_per_sm=64, max_threads_per_sm=1024,
+)
+
+#: All platforms, CPU first — the order Tables 5–9 list them in.
+ALL_PLATFORMS: tuple[Platform, ...] = (
+    PLATINUM_8272, E5_2673, I7_10510U, EPYC_7452, GRAVITON2, K80, T4,
+)
+CPU_PLATFORMS: tuple[Platform, ...] = tuple(p for p in ALL_PLATFORMS if p.target == "cpu")
+GPU_PLATFORMS: tuple[Platform, ...] = tuple(p for p in ALL_PLATFORMS if p.target == "gpu")
+
+PLATFORMS: dict[str, Platform] = {p.name: p for p in ALL_PLATFORMS}
+
+#: ISA family -> member platform names (the Table 9 grouping).
+ISA_FAMILIES: dict[str, tuple[str, ...]] = {}
+for _p in ALL_PLATFORMS:
+    ISA_FAMILIES[_p.isa] = (*ISA_FAMILIES.get(_p.isa, ()), _p.name)
+del _p
+
+
+def get_platform(platform: "Platform | str") -> Platform:
+    """Resolve a platform name (or pass a :class:`Platform` through)."""
+    if isinstance(platform, Platform):
+        return platform
+    resolved = PLATFORMS.get(platform)
+    if resolved is None:
+        raise KeyError(
+            f"unknown platform {platform!r}; available: {sorted(PLATFORMS)}"
+        )
+    return resolved
+
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "CPU_PLATFORMS",
+    "E5_2673",
+    "EPYC_7452",
+    "GPU_PLATFORMS",
+    "GRAVITON2",
+    "I7_10510U",
+    "ISA_FAMILIES",
+    "K80",
+    "PLATFORMS",
+    "PLATINUM_8272",
+    "Platform",
+    "T4",
+    "get_platform",
+]

@@ -64,14 +64,21 @@ def format_seconds(seconds: float) -> str:
     Non-positive durations render as ``0us``: ``perf_counter`` deltas can
     come out marginally negative under clock skew, and a signed
     microsecond count is never what a timing report means.
+
+    The unit is chosen *after* rounding, not before: 9.999e-4 s rounds to
+    1000 us, which must promote to ``1.00ms`` (and 0.9999995 s to
+    ``1.00s``) — picking the unit from the raw value first would emit
+    ``1000us`` / ``1000.00ms``.
     """
     if seconds <= 0.0:
         return "0us"
-    if seconds >= 1.0:
-        return f"{seconds:.2f}s"
-    if seconds >= 1e-3:
-        return f"{seconds * 1e3:.2f}ms"
-    return f"{seconds * 1e6:.0f}us"
+    us = f"{seconds * 1e6:.0f}"
+    if seconds < 1e-3 and float(us) < 1000.0:
+        return f"{us}us"
+    ms = f"{seconds * 1e3:.2f}"
+    if seconds < 1.0 and float(ms) < 1000.0:
+        return f"{ms}ms"
+    return f"{seconds:.2f}s"
 
 
 __all__ = ["Timer", "best_of", "format_seconds"]

@@ -56,6 +56,42 @@ def test_epochs_reshuffle_within_one_loader():
     assert not np.array_equal(first, second)
 
 
+@pytest.mark.parametrize("drop_last", [False, True])
+@pytest.mark.parametrize("shuffle", [False, True])
+@pytest.mark.parametrize("n", [24, 23, 5])  # n % 8 == 0, nonzero, n < batch
+def test_batch_geometry_across_drop_last_shuffle_and_remainder(n, shuffle, drop_last):
+    """Regression: __iter__ had a second, unreachable drop_last guard that
+    could drift from len(); the batch count is now the single source of
+    truth.  Every (drop_last, shuffle, remainder) cell must agree with it."""
+    bs = 8
+    X = np.arange(n, dtype=np.float32)[:, None, None] * np.ones((1, _L, _F), np.float32)
+    mask = np.ones((n, _L), dtype=np.float32)
+    loader = BatchLoader(X, mask, batch_size=bs, shuffle=shuffle,
+                         drop_last=drop_last, stream_name=f"t.data.geom.{n}")
+    batches = list(loader)
+    assert len(batches) == len(loader) == (n // bs if drop_last else -(-n // bs))
+    if drop_last:
+        assert all(Xb.shape[0] == bs for Xb, _ in batches)
+    else:
+        sizes = [Xb.shape[0] for Xb, _ in batches]
+        assert sizes[:-1] == [bs] * (len(sizes) - 1) if sizes else True
+        assert sum(sizes) == n
+        rows = sorted(x for Xb, _ in batches for x in Xb[:, 0, 0].tolist())
+        assert rows == list(range(n))  # every row exactly once
+
+
+def test_epoch_order_is_bit_reproducible_across_loaders():
+    a = BatchLoader(_X, _MASK, _Y, batch_size=7, stream_name="t.data.bits")
+    b = BatchLoader(_X, _MASK, _Y, batch_size=7, stream_name="t.data.bits")
+    for _ in range(3):
+        ea = [batch for batch in a]
+        eb = [batch for batch in b]
+        assert len(ea) == len(eb)
+        for ta, tb in zip(ea, eb):
+            for xa, xb in zip(ta, tb):
+                assert xa.tobytes() == xb.tobytes()  # bit-identical
+
+
 def test_loader_validates_inputs():
     with pytest.raises(ValueError):
         BatchLoader(_X, _MASK[:-1])

@@ -91,6 +91,53 @@ def test_cosine_lr_reaches_min_lr():
     assert all(b <= a for a, b in zip(lrs, lrs[1:]))
 
 
+def test_cosine_lr_default_min_lr_keeps_final_epoch_stepping():
+    """Regression: the old min_lr=0.0 default drove lr to exactly 0.0 on
+    the final epoch, turning every last-epoch step into a silent no-op
+    (and violating the optimizer's own lr > 0 contract)."""
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=1.0)
+    sched = CosineLR(opt, total_epochs=3)
+    for _ in range(3):
+        sched.step()
+    assert opt.lr == pytest.approx(0.01)  # 1% of base, not 0.0
+    p.grad = np.ones(1, dtype=np.float32)
+    before = p.data.copy()
+    opt.step()
+    assert not np.array_equal(p.data, before)  # final epoch still learns
+
+
+def test_cosine_lr_rejects_nonpositive_or_oversized_min_lr():
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=0.5)
+    with pytest.raises(ValueError, match="min_lr"):
+        CosineLR(opt, total_epochs=4, min_lr=0.0)
+    with pytest.raises(ValueError, match="min_lr"):
+        CosineLR(opt, total_epochs=4, min_lr=-0.1)
+    with pytest.raises(ValueError, match="min_lr"):
+        CosineLR(opt, total_epochs=4, min_lr=0.6)  # > base_lr
+
+
+def test_lr_invariant_enforced_on_assignment():
+    """The lr > 0 contract holds everywhere, not just at construction —
+    a schedule assigning a bad lr fails loudly instead of no-opping."""
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=0.1)
+    with pytest.raises(ValueError, match="non-positive"):
+        opt.lr = 0.0
+    with pytest.raises(ValueError, match="non-positive"):
+        SGD([p], lr=0.0)
+    opt.lr = 0.2  # positive assignment still fine
+    assert opt.lr == pytest.approx(0.2)
+
+
+def test_step_lr_rejects_nonpositive_gamma():
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=0.1)
+    with pytest.raises(ValueError, match="gamma"):
+        StepLR(opt, step_size=2, gamma=0.0)
+
+
 def test_all_optimizer_state_is_float32():
     p = Parameter(np.ones((3, 3), dtype=np.float32))
     opt = Adam([p], lr=0.01)

@@ -137,3 +137,29 @@ def test_k_must_be_positive(scorer, subgraph, corpus):
         scorer.score_topk(subgraph, corpus, k=0)
     with pytest.raises(ValueError, match="k must be"):
         scorer.propose_topk(subgraph, n=2, k=0, rng=stream("test.scoring.k"))
+
+
+def test_n_must_be_positive(scorer, subgraph):
+    with pytest.raises(ValueError, match="n must be"):
+        scorer.propose_topk(subgraph, n=0, k=1, rng=stream("test.scoring.n"))
+
+
+def test_propose_topk_counts_generator_output_not_request(scorer, subgraph):
+    """Regression: n_candidates was hard-coded to the requested n; it must
+    report what the generator actually produced so n_scored stays honest."""
+
+    class ShortGenerator:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def generate_many(self, subgraph, n, rng):
+            return self.inner.generate_many(subgraph, n, rng)[: n - 2]
+
+    short = CandidateScorer(scorer.model, scorer.featurizer,
+                            ShortGenerator(scorer.generator))
+    schedules, top = short.propose_topk(subgraph, n=8, k=3,
+                                        rng=stream("test.scoring.short"))
+    assert len(schedules) == 6
+    assert top.n_candidates == 6  # not the requested 8
+    assert top.n_invalid == 0 and top.n_scored == 6
+    assert len(top.indices) == 3

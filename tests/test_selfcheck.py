@@ -73,6 +73,25 @@ def test_sc103_flags_float64_in_compute_paths_only():
     assert rules(selfcheck.check_source(literal, "repro/simhw/cpu.py")) == {"SC103"}
 
 
+def test_sc104_flags_time_module_in_simhw_paths_only():
+    assert rules(
+        selfcheck.check_source("import time\n", "repro/simhw/measure.py")
+    ) == {"SC104"}
+    assert rules(
+        selfcheck.check_source("from time import perf_counter\n", "repro/simhw/cpu_model.py")
+    ) == {"SC104"}
+    # Wall clock is fine everywhere else (the bench harness needs it).
+    assert selfcheck.check_source("import time\n", "repro/utils/timer.py") == []
+    assert selfcheck.check_source("import time\n", "repro/nn/optim.py") == []
+
+
+def test_sc104_allows_timer_wrapper_import_in_simhw():
+    # Importing the Timer context manager for a smoke harness is not a
+    # wall-clock read in the measurement path itself.
+    src = "from repro.utils.timer import Timer\n"
+    assert selfcheck.check_source(src, "repro/simhw/measure.py") == []
+
+
 def test_suppression_token():
     src = "import numpy as np\nx = np.random.rand(3)  # selfcheck: allow\n"
     assert selfcheck.check_source(src, "repro/x.py") == []

@@ -72,3 +72,21 @@ def test_format_seconds_zero():
 def test_format_seconds_tiny_positive_rounds_to_zero_us():
     assert format_seconds(1e-9) == "0us"
     assert format_seconds(9e-7) == "1us"
+
+
+def test_format_seconds_promotes_unit_at_rounding_boundary():
+    # Durations that round up to 1000 of the smaller unit must promote to
+    # the next unit instead of rendering "1000us" / "1000.00ms".
+    assert format_seconds(9.999e-4) == "1.00ms"
+    assert format_seconds(0.999999) == "1.00s"
+    assert format_seconds(0.9999951) == "1.00s"
+
+
+def test_format_seconds_just_under_boundary_keeps_small_unit():
+    assert format_seconds(9.994e-4) == "999us"
+    assert format_seconds(0.9999) == "999.90ms"
+
+
+def test_format_seconds_exact_boundaries():
+    assert format_seconds(1e-3) == "1.00ms"
+    assert format_seconds(1.0) == "1.00s"
