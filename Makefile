@@ -2,13 +2,16 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint gradcheck bench bench-save smoke-infer smoke-simhw check
+.PHONY: test lint lint-json gradcheck bench bench-save smoke-infer smoke-simhw check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
-	$(PYTHON) -m repro.analysis.selfcheck src/
+	$(PYTHON) -m repro.analysis.lint src/ tests/ benchmarks/
+
+lint-json:
+	$(PYTHON) -m repro.analysis.lint --format json src/ tests/ benchmarks/
 
 gradcheck:
 	$(PYTHON) -m pytest -x -q -m gradcheck
@@ -20,6 +23,7 @@ bench-save:
 	$(PYTHON) benchmarks/bench_save.py
 	$(PYTHON) benchmarks/bench_save_inference.py
 	$(PYTHON) benchmarks/bench_save_simhw.py
+	$(PYTHON) benchmarks/bench_save_absint.py
 
 # ~2 s end-to-end serving smoke: propose -> verify -> featurize ->
 # predict -> top-k, asserting predict bit-identical to the taped forward.

@@ -11,7 +11,6 @@ today; this module keeps the comparisons that need ``repro.simhw``,
 import-gated (see ``conftest.py``) until those subsystems land.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import extract_features_batch
@@ -19,6 +18,7 @@ from repro.core import PostprocessConfig, TLPFeaturizer
 from repro.core.tlp_model import TLPConfig, TLPModel
 from repro.simhw import get_platform, program_latency
 from repro.tensorir import SketchConfig, SketchGenerator
+from repro.utils.rng import stream
 from repro.workloads import build_network
 
 
@@ -26,7 +26,7 @@ from repro.workloads import build_network
 def schedules():
     subgraph = build_network("resnet50")[2]
     gen = SketchGenerator(SketchConfig("cpu"))
-    rng = np.random.default_rng(0)
+    rng = stream("bench.micro.schedules")
     return gen.generate_many(subgraph, 64, rng)
 
 
@@ -63,7 +63,7 @@ def test_sketch_generation(benchmark):
     gen = SketchGenerator(SketchConfig("cpu"))
 
     def sample():
-        rng = np.random.default_rng(1)
+        rng = stream("bench.micro.sketch")
         return [gen.generate(subgraph, rng) for _ in range(32)]
 
     out = benchmark(sample)

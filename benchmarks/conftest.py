@@ -31,6 +31,8 @@ _REQUIRES = {
     "bench_nn.py": ("repro.nn", "repro.core.tlp_model"),
     "bench_inference.py": ("repro.nn.functional", "repro.core.tlp_model",
                            "repro.core.scoring"),
+    "bench_absint.py": ("repro.analysis.absint", "repro.core.scoring",
+                        "repro.simhw", "repro.nn"),
     "bench_tables.py": ("repro.experiments",),
     "bench_figures.py": ("repro.experiments",),
 }

@@ -1,11 +1,19 @@
-"""Static analysis: schedule-sequence verification and repo self-lint.
+"""Static analysis: schedule-sequence verification, abstract
+interpretation, and the repo lint.
 
 * ``verifier`` — checks primitive sequences against their subgraph without
   applying them (structural E1xx rules, axis-liveness E2xx dataflow,
   W3xx performance smells).
 * ``diagnostics`` — the :class:`Diagnostic` record and error-code taxonomy.
-* ``selfcheck`` — an AST lint enforcing DESIGN.md §7 conventions over the
-  source tree (``python -m repro.analysis.selfcheck src/``).
+* ``absint`` — abstract interpreter over the loop-nest interval domain:
+  symbolic execution of a primitive sequence into a
+  :class:`~repro.analysis.absint.StaticProfile` (static feature plane,
+  draft scores for draft-then-verify ranking, W304–W306 smells) without
+  applying the schedule.
+* ``lint`` — pluggable AST rule framework enforcing DESIGN.md §7
+  conventions over the source tree
+  (``python -m repro.analysis.lint src/ tests/ benchmarks/``);
+  ``selfcheck`` remains as its compatibility shim.
 """
 
 from __future__ import annotations
@@ -20,6 +28,12 @@ from repro.analysis.diagnostics import (
     has_errors,
     taxonomy_table,
 )
+from repro.analysis.absint import (
+    AbsIntError,
+    StaticProfile,
+    profile,
+    profile_many,
+)
 from repro.analysis.verifier import (
     SequenceVerifier,
     VerifierConfig,
@@ -31,12 +45,16 @@ from repro.analysis.verifier import (
 )
 
 __all__ = [
+    "AbsIntError",
     "CODES",
     "Diagnostic",
     "InvalidScheduleError",
     "SequenceVerifier",
     "Severity",
+    "StaticProfile",
     "VerifierConfig",
+    "profile",
+    "profile_many",
     "assert_valid",
     "assert_valid_many",
     "errors",

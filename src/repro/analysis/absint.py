@@ -1,0 +1,810 @@
+"""Abstract interpretation of schedule primitive sequences.
+
+The verifier (``repro.analysis.verifier``) proves a sequence *valid*
+without applying it; this module goes one step further and derives *what
+the schedule does* — loop extents, tile footprints, parallel/vector
+structure, GPU grid geometry — still without ever calling
+``Schedule.apply``.  That static profile is exactly the pre-screen a
+Pruner-style draft-then-verify search loop needs (PAPERS.md: a cheap
+static draft score in front of the learned model), and a second,
+independent implementation to cross-check the applier and ``repro.simhw``
+against.
+
+The abstract domain is an ordered list of loops whose trip counts are
+:class:`Interval` values.  On concrete schedules every interval's upper
+bound is the padded extent the applier would produce (the differential
+property in ``tests/test_absint.py`` pins this exactly), while the lower
+bound tracks the minimum number of *useful* iterations once split padding
+is accounted for — a padded split leaves its first inner level with a
+ragged final tile, so that loop's interval widens while every trip count
+stays exact.
+
+Rejection semantics are the union of the applier's and the verifier's:
+:func:`profile` raises :class:`AbsIntError` on any sequence the verifier
+would flag with an error diagnostic (the property tests assert both
+directions: verifier-clean ⇒ absint succeeds, verifier-rejected ⇒ absint
+raises).
+
+Three consumers:
+
+* :func:`profile_many` — fixed-width float32 static-feature plane
+  (``STATIC_FEATURE_NAMES`` columns) for screening models.
+* :func:`draft_scores` — Pruner-style draft score: the static profile is
+  costed on the target's *reference* ``simhw`` platform, no TLP model
+  involved.  ``CandidateScorer.propose_topk(draft_keep=...)`` uses it to
+  run ``TLPModel.predict`` on the top slice only.
+* :func:`smell_diagnostics` — the W304–W306 facts the verifier emits
+  (footprint vs last-level cache, under-parallelization, unroll bodies
+  past the icache budget).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.simhw.cache import (
+    BYTES_PER_POINT,
+    NestFeatures,
+    POW2_CONFLICT_THRESHOLD,
+    REUSE_EXPONENT,
+)
+from repro.simhw.platform import ALL_PLATFORMS, Platform
+from repro.tensorir.loops import ANNOTATION_KINDS, Loop, LoopKind, LoopNest
+from repro.tensorir.primitives import (
+    ANNOTATIONS,
+    ARITY,
+    GPU_BIND_PREFIX,
+    KIND_BY_VALUE,
+    PRAGMAS,
+    Primitive,
+    PrimitiveKind,
+    fused_name,
+    split_names,
+)
+from repro.tensorir.schedule import PAD_ALLOWANCE, split_parts
+from repro.tensorir.subgraph import Subgraph
+
+
+class AbsIntError(Exception):
+    """A primitive sequence is invalid under abstract interpretation.
+
+    Raised for exactly the sequences the verifier would reject with an
+    error diagnostic (the absint/verifier agreement property); ``step``
+    is the index of the offending primitive.
+    """
+
+    def __init__(self, step: int, message: str):
+        super().__init__(f"step {step}: {message}")
+        self.step = step
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer interval ``[lo, hi]`` of useful-iteration counts.
+
+    ``hi`` is the loop's (padded) trip count — exact, since padded splits
+    run all iterations and mask the padding.  ``lo`` is the minimum
+    number of useful iterations any instance of the loop performs; the
+    two coincide unless some enclosing split padded the axis.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lo <= self.hi:
+            raise ValueError(f"bad interval [{self.lo}, {self.hi}]")
+
+    @property
+    def exact(self) -> bool:
+        return self.lo == self.hi
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo * other.lo, self.hi * other.hi)
+
+    def __str__(self) -> str:
+        return str(self.hi) if self.exact else f"[{self.lo}, {self.hi}]"
+
+
+@dataclass(frozen=True)
+class AbstractLoop:
+    """One loop of the abstract nest (outermost-first order)."""
+
+    name: str
+    trip: Interval
+    is_reduction: bool = False
+    kind: LoopKind = LoopKind.SERIAL
+    thread_tag: str = ""
+    pragmas: tuple[tuple[str, int], ...] = ()
+    rfactored: bool = False
+
+    @property
+    def extent(self) -> int:
+        """The concrete (padded) trip count — what the applier produces."""
+        return self.trip.hi
+
+
+#: Columns of the :func:`profile_many` static-feature plane, in order.
+STATIC_FEATURE_NAMES: tuple[str, ...] = (
+    "depth",
+    "log2_padded_points",
+    "log2_domain_points",
+    "padding_ratio",
+    "useful_fraction",        # prod(trip.lo) / prod(trip.hi) — interval mass
+    "flops_per_point",
+    "n_steps",
+    "parallel_extent",
+    "parallel_depth",         # outermost parallel loop's level (depth if none)
+    "vector_extent",
+    "vector_at_innermost",
+    "unrolled_extent",
+    "unroll_step",            # max auto_unroll_max_step pragma
+    "grid_blocks",
+    "threads_per_block",
+    "pow2_conflicts",
+    "log2_outer_tile_bytes",  # working set of one outermost-loop iteration
+    "log2_tile_points_l0",    # deepest suffix tile per reference cache level
+    "log2_tile_points_l1",
+    "log2_tile_points_l2",
+    "cache_write",
+    "compute_at",
+    "compute_root",
+    "inlined",
+    "rfactored",
+)
+
+
+def reference_platform(target: str) -> Platform:
+    """The canonical ``simhw`` platform for a target (first of its kind)."""
+    for p in ALL_PLATFORMS:
+        if p.target == target:
+            return p
+    raise ValueError(f"no simhw platform with target {target!r}")
+
+
+def reference_llc_kb(target: str) -> float:
+    """Smallest last-level cache among the target's platforms (W304 bar)."""
+    return min(p.cache_kb[-1] for p in ALL_PLATFORMS if p.target == target)
+
+
+def reference_min_cores(target: str) -> int:
+    """Smallest core/SM count among the target's platforms (W305 bar)."""
+    return min(p.cores for p in ALL_PLATFORMS if p.target == target)
+
+
+def reference_unroll_budget(target: str) -> int:
+    """Smallest icache unroll cap among the target's platforms (W306 bar)."""
+    return min(p.unroll_cap for p in ALL_PLATFORMS if p.target == target)
+
+
+def working_set_bytes(points: float) -> float:
+    """Bytes a tile of ``points`` keeps resident — the ``simhw.cache``
+    reuse model (``BYTES_PER_POINT * points ** REUSE_EXPONENT``)."""
+    return BYTES_PER_POINT * float(points) ** REUSE_EXPONENT
+
+
+@dataclass(frozen=True)
+class StaticProfile:
+    """Everything :func:`profile` derives from a sequence without applying it."""
+
+    subgraph_name: str
+    target: str
+    n_steps: int
+    loops: tuple[AbstractLoop, ...]
+    cache_write: bool
+    inlined: bool
+    compute_at_axis: str
+    compute_root: bool
+    domain_points: int
+    flops_per_point: float
+    #: (step index, axis name, abstract extent) per ``parallel`` annotation.
+    parallel_facts: tuple[tuple[int, str, int], ...]
+    #: (step index, axis name) per ``unroll`` annotation.
+    unroll_facts: tuple[tuple[int, str], ...]
+    #: Per-step nest snapshots ((name, extent), ...) when profiled with
+    #: ``trace=True`` — the differential hook against ``apply_trace``.
+    trace: tuple[tuple[tuple[str, int], ...], ...] | None = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    def extents(self) -> tuple[int, ...]:
+        return tuple(l.extent for l in self.loops)
+
+    def padded_points(self) -> int:
+        return math.prod(l.extent for l in self.loops)
+
+    def useful_points(self) -> int:
+        """Lower bound on useful iterations (product of interval floors)."""
+        return math.prod(l.trip.lo for l in self.loops)
+
+    def padding_ratio(self) -> float:
+        if self.domain_points <= 0:
+            return math.inf
+        return self.padded_points() / self.domain_points
+
+    def to_nest(self) -> LoopNest:
+        """Concretize the abstract nest — must equal ``Schedule.apply()``
+        output on any verifier-clean sequence (the differential property)."""
+        return LoopNest(
+            subgraph_name=self.subgraph_name,
+            loops=[
+                Loop(
+                    l.name,
+                    l.extent,
+                    is_reduction=l.is_reduction,
+                    kind=l.kind,
+                    thread_tag=l.thread_tag,
+                    pragmas=l.pragmas,
+                    rfactored=l.rfactored,
+                )
+                for l in self.loops
+            ],
+            cache_write=self.cache_write,
+            inlined=self.inlined,
+            compute_at_axis=self.compute_at_axis,
+            compute_root=self.compute_root,
+        )
+
+    # -- derived geometry -------------------------------------------------
+
+    def grid_geometry(self) -> tuple[int, int]:
+        """(grid blocks, threads per block) from the ``bind.*`` tags."""
+        grid = threads = 1
+        for l in self.loops:
+            if not l.thread_tag:
+                continue
+            if l.thread_tag.startswith("blockIdx"):
+                grid *= l.extent
+            else:  # threadIdx.* and vthread both occupy the block
+                threads *= l.extent
+        return grid, threads
+
+    def pow2_conflicts(self) -> int:
+        """Large power-of-two *middle* loop extents (the W301/simhw smell)."""
+        count = 0
+        for l in self.loops[1:-1]:
+            e = l.extent
+            if e >= POW2_CONFLICT_THRESHOLD and (e & (e - 1)) == 0:
+                count += 1
+        return count
+
+    def outer_tile_points(self) -> int:
+        """Points one iteration of the outermost loop touches."""
+        if not self.loops:
+            return 1
+        return math.prod(l.extent for l in self.loops[1:])
+
+    def tile_points_per_level(self, cache_kb: Sequence[float]) -> tuple[float, ...]:
+        """Deepest loop-suffix tile (points) fitting each cache level,
+        the suffix-product walk of ``simhw.cache.tile_points``."""
+        suffix: list[float] = []
+        acc = 1.0
+        for l in reversed(self.loops):
+            acc *= l.extent
+            suffix.append(acc)
+        out: list[float] = []
+        for kb in cache_kb:
+            capacity_points = (kb * 1024.0 / BYTES_PER_POINT) ** (1.0 / REUSE_EXPONENT)
+            best = 1.0
+            for t in suffix:  # ascending toward the outermost suffix
+                if t <= capacity_points:
+                    best = t
+                else:
+                    break
+            out.append(max(best, 1.0))
+        return tuple(out)
+
+    def unroll_step(self) -> int:
+        step = 0
+        for l in self.loops:
+            for name, value in l.pragmas:
+                if name == "auto_unroll_max_step":
+                    step = max(step, int(value))
+        return step
+
+    def features(self) -> np.ndarray:
+        """The fixed-width float32 feature row (``STATIC_FEATURE_NAMES``)."""
+        padded = float(self.padded_points())
+        parallel_extent = 1.0
+        parallel_depth = float(self.depth)
+        vector_extent = 1.0
+        unrolled_extent = 1.0
+        for level, l in enumerate(self.loops):
+            if l.kind is LoopKind.PARALLEL:
+                parallel_extent *= l.extent
+                parallel_depth = min(parallel_depth, float(level))
+            elif l.kind is LoopKind.VECTORIZED:
+                vector_extent *= l.extent
+            elif l.kind is LoopKind.UNROLLED:
+                unrolled_extent *= l.extent
+        grid, threads = self.grid_geometry()
+        ref = reference_platform(self.target)
+        tiles = self.tile_points_per_level(ref.cache_kb)
+        tile_cols = [math.log2(tiles[i]) if i < len(tiles) else 0.0 for i in range(3)]
+        row = (
+            float(self.depth),
+            math.log2(max(padded, 1.0)),
+            math.log2(max(float(self.domain_points), 1.0)),
+            self.padding_ratio(),
+            self.useful_points() / max(padded, 1.0),
+            self.flops_per_point,
+            float(self.n_steps),
+            parallel_extent,
+            parallel_depth,
+            vector_extent,
+            1.0 if self.loops and self.loops[-1].kind is LoopKind.VECTORIZED else 0.0,
+            unrolled_extent,
+            float(self.unroll_step()),
+            float(grid),
+            float(threads),
+            float(self.pow2_conflicts()),
+            math.log2(max(working_set_bytes(self.outer_tile_points()), 1.0)),
+            *tile_cols,
+            1.0 if self.cache_write else 0.0,
+            1.0 if self.compute_at_axis else 0.0,
+            1.0 if self.compute_root else 0.0,
+            1.0 if self.inlined else 0.0,
+            1.0 if any(l.rfactored for l in self.loops) else 0.0,
+        )
+        return np.asarray(row, dtype=np.float32)
+
+
+@dataclass
+class _MutableLoop:
+    name: str
+    trip: Interval
+    is_reduction: bool
+    kind: LoopKind = LoopKind.SERIAL
+    thread_tag: str = ""
+    pragmas: tuple[tuple[str, int], ...] = ()
+    rfactored: bool = False
+
+    def freeze(self) -> AbstractLoop:
+        return AbstractLoop(
+            self.name,
+            self.trip,
+            self.is_reduction,
+            self.kind,
+            self.thread_tag,
+            self.pragmas,
+            self.rfactored,
+        )
+
+
+@dataclass
+class _Interpreter:
+    """One abstract execution of a sequence over the loop-interval domain.
+
+    Bookkeeping intentionally mirrors *both* reference implementations:
+    loop structure follows the applier (fuse drops annotations, split
+    drops pragmas), while rejection follows the stricter verifier (bound
+    thread tags and axis-name history persist across fuse/split, the
+    padding allowance is enforced) — so absint rejects exactly the
+    sequences the verifier errors on and concretizes to exactly the nest
+    the applier builds on the rest.
+    """
+
+    subgraph: Subgraph
+    target: str
+    primitives: tuple[Primitive, ...]
+    pad_allowance: float = PAD_ALLOWANCE
+
+    loops: list[_MutableLoop] = field(init=False)
+    seen_names: set[str] = field(init=False)
+    bound_tags: set[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.loops = [
+            _MutableLoop(a.name, Interval(a.extent, a.extent), a.is_reduction)
+            for a in self.subgraph.axes
+        ]
+        self.seen_names = {a.name for a in self.subgraph.axes}
+        self.bound_tags = set()
+        self.cache_write = False
+        self.inlined = False
+        self.compute_at_axis = ""
+        self.compute_root = False
+        self.rfactor_seen = False
+        self.parallel_facts: list[tuple[int, str, int]] = []
+        self.unroll_facts: list[tuple[int, str]] = []
+        self._step = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _fail(self, message: str):
+        raise AbsIntError(self._step, message)
+
+    def _index(self, axis: str) -> int:
+        for i, l in enumerate(self.loops):
+            if l.name == axis:
+                return i
+        if axis in self.seen_names:
+            self._fail(f"axis {axis!r} was already consumed")
+        self._fail(f"axis {axis!r} was never defined")
+
+    def _check_arity(self, kind: PrimitiveKind, prim: Primitive) -> None:
+        n_axes, min_ints, max_ints, needs_attr = ARITY[kind]
+        if n_axes is not None and len(prim.axes) != n_axes:
+            self._fail(f"{kind.value} expects {n_axes} axis, got {len(prim.axes)}")
+        if len(prim.ints) < min_ints or (max_ints is not None and len(prim.ints) > max_ints):
+            self._fail(f"{kind.value} has bad numeric arity {list(prim.ints)}")
+        if needs_attr and not prim.attr:
+            self._fail(f"{kind.value} requires an attr token")
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, trace: bool = False) -> StaticProfile:
+        snapshots: list[tuple[tuple[str, int], ...]] = []
+        for index, prim in enumerate(self.primitives):
+            self._step = index
+            kind = KIND_BY_VALUE.get(prim.kind)
+            if kind is None:
+                self._fail(f"unknown primitive kind {prim.kind!r}")
+            if self.inlined:
+                self._fail(f"{kind.value} after compute-inline")
+            self._check_arity(kind, prim)
+            getattr(self, f"_visit_{kind.value.lower()}")(prim)
+            if trace:
+                snapshots.append(tuple((l.name, l.trip.hi) for l in self.loops))
+        return StaticProfile(
+            subgraph_name=self.subgraph.name,
+            target=self.target,
+            n_steps=len(self.primitives),
+            loops=tuple(l.freeze() for l in self.loops),
+            cache_write=self.cache_write,
+            inlined=self.inlined,
+            compute_at_axis=self.compute_at_axis,
+            compute_root=self.compute_root,
+            domain_points=self.subgraph.total_points,
+            flops_per_point=float(self.subgraph.flops_per_point),
+            parallel_facts=tuple(self.parallel_facts),
+            unroll_facts=tuple(self.unroll_facts),
+            trace=tuple(snapshots) if trace else None,
+        )
+
+    # -- split family -----------------------------------------------------
+
+    def _split(self, axis: str, carried_extent: int, factors: tuple[int, ...]) -> None:
+        bad = [f for f in factors if not isinstance(f, int) or f < 1]
+        if bad:
+            self._fail(f"split of {axis!r} has non-positive factors {bad}")
+        idx = self._index(axis)
+        old = self.loops[idx]
+        extent = old.trip.hi
+        if carried_extent != extent:
+            self._fail(
+                f"split of {axis!r} carries extent {carried_extent}, "
+                f"abstract extent is {extent}"
+            )
+        parts = split_parts(extent, factors)
+        padded = math.prod(parts)
+        if padded > extent * (1.0 + self.pad_allowance):
+            self._fail(
+                f"split of {axis!r} pads {extent} to {padded}, beyond the "
+                f"{self.pad_allowance:.0%} allowance"
+            )
+        names = split_names(axis, len(parts))
+        for name in names:
+            if name in self.seen_names:
+                self._fail(f"axis {name!r} defined twice")
+        trips = _split_intervals(old.trip, parts, padded)
+        self.loops[idx : idx + 1] = [
+            _MutableLoop(name, trip, old.is_reduction)
+            for name, trip in zip(names, trips)
+        ]
+        self.seen_names.update(names)
+
+    def _visit_sp(self, prim: Primitive) -> None:
+        self._split(prim.axes[0], prim.ints[0], tuple(prim.ints[1:]))
+
+    def _visit_fsp(self, prim: Primitive) -> None:
+        (axis,) = prim.axes
+        src_step = prim.ints[1]
+        if not 0 <= src_step < len(self.primitives):
+            self._fail(f"follow-split references missing step {src_step}")
+        if src_step >= self._step:
+            self._fail(
+                f"follow-split references step {src_step}, which is not strictly "
+                f"earlier than step {self._step}"
+            )
+        src = self.primitives[src_step]
+        if KIND_BY_VALUE.get(src.kind) is not PrimitiveKind.SP or len(src.ints) < 2:
+            self._fail(f"follow-split references step {src_step} which is not a split")
+        self._split(axis, prim.ints[0], tuple(src.ints[1:]))
+
+    # -- order primitives -------------------------------------------------
+
+    def _visit_re(self, prim: Primitive) -> None:
+        named = list(prim.axes)
+        for axis in dict.fromkeys(named):  # order-preserving dedup
+            self._index(axis)
+        live = [l.name for l in self.loops]
+        if sorted(named) != sorted(live):
+            self._fail(f"reorder {named} is not a permutation of the live order {live}")
+        by_name = {l.name: l for l in self.loops}
+        self.loops = [by_name[n] for n in named]
+
+    def _visit_fu(self, prim: Primitive) -> None:
+        named = list(prim.axes)
+        if len(named) < 2 or len(set(named)) != len(named):
+            self._fail(f"fuse needs >=2 distinct axes, got {named}")
+        indices = [self._index(a) for a in named]
+        if indices != list(range(indices[0], indices[0] + len(indices))):
+            self._fail(f"fuse axes {named} are not adjacent")
+        merged = self.loops[indices[0] : indices[-1] + 1]
+        name = fused_name(tuple(named))
+        if name in self.seen_names:
+            self._fail(f"axis {name!r} defined twice")
+        trip = merged[0].trip
+        for l in merged[1:]:
+            trip = trip * l.trip
+        fused = _MutableLoop(name, trip, any(l.is_reduction for l in merged))
+        self.loops[indices[0] : indices[-1] + 1] = [fused]
+        self.seen_names.add(name)
+
+    # -- annotation primitives --------------------------------------------
+
+    def _visit_an(self, prim: Primitive) -> None:
+        (axis,) = prim.axes
+        if prim.attr not in ANNOTATIONS:
+            self._fail(f"unknown annotation {prim.attr!r}")
+        is_bind = prim.attr.startswith(GPU_BIND_PREFIX)
+        if is_bind and self.target != "gpu":
+            self._fail(f"GPU bind {prim.attr!r} under target {self.target!r}")
+        loop = self.loops[self._index(axis)]
+        if loop.kind is not LoopKind.SERIAL:
+            self._fail(f"axis {axis!r} already annotated as {loop.kind.value}")
+        if is_bind:
+            tag = prim.attr[len(GPU_BIND_PREFIX) :]
+            if tag in self.bound_tags:
+                self._fail(f"thread tag {tag!r} bound twice")
+            self.bound_tags.add(tag)
+            loop.kind = LoopKind.BOUND
+            loop.thread_tag = tag
+        else:
+            loop.kind = ANNOTATION_KINDS[prim.attr]
+            if prim.attr == "parallel":
+                self.parallel_facts.append((self._step, axis, loop.trip.hi))
+            elif prim.attr == "unroll":
+                self.unroll_facts.append((self._step, axis))
+
+    def _visit_pr(self, prim: Primitive) -> None:
+        (axis,) = prim.axes
+        if prim.attr not in PRAGMAS:
+            self._fail(f"unknown pragma {prim.attr!r}")
+        loop = self.loops[self._index(axis)]
+        loop.pragmas = (*loop.pragmas, (prim.attr, prim.ints[0]))
+
+    # -- stage primitives -------------------------------------------------
+
+    def _visit_ca(self, prim: Primitive) -> None:
+        self._index(prim.axes[0])
+        self.compute_at_axis = prim.axes[0]
+
+    def _visit_chw(self, prim: Primitive) -> None:
+        self.cache_write = True
+
+    def _visit_rf(self, prim: Primitive) -> None:
+        loop = self.loops[self._index(prim.axes[0])]
+        if not loop.is_reduction:
+            self._fail(f"rfactor of non-reduction axis {prim.axes[0]!r}")
+        loop.rfactored = True
+        self.rfactor_seen = True
+
+    def _visit_ci(self, prim: Primitive) -> None:
+        conflicts = [
+            name
+            for name, flag in (
+                ("CHW", self.cache_write),
+                ("CA", bool(self.compute_at_axis)),
+                ("CP", self.compute_root),
+                ("RF", self.rfactor_seen),
+            )
+            if flag
+        ]
+        if conflicts:
+            self._fail(f"compute-inline conflicts with {'/'.join(conflicts)}")
+        self.inlined = True
+
+    def _visit_cp(self, prim: Primitive) -> None:
+        self.compute_root = True
+
+
+def _split_intervals(
+    trip: Interval, parts: tuple[int, ...], padded: int
+) -> tuple[Interval, ...]:
+    """Trip intervals of the loops a split produces.
+
+    Trip counts are exact (``hi == part``).  When the factors do not
+    divide the extent, the last outer iteration covers only the remainder,
+    so the first inner level's useful count drops — the remainder is
+    attributed there and deeper levels stay exact.  Splitting an already
+    widened interval keeps only the outermost bound tight (sound, coarse).
+    """
+    outer, *inner = parts
+    if not trip.exact:
+        # Splitting an already widened interval: trip counts stay exact,
+        # the useful floors collapse to 1 (sound but coarse).
+        return tuple(Interval(1, p) for p in parts)
+    if padded == trip.hi or not inner:
+        return tuple(Interval(p, p) for p in parts)
+    inner_points = math.prod(inner)
+    deeper = math.prod(inner[1:])  # 1 when the split has a single factor
+    remainder = trip.hi - (outer - 1) * inner_points
+    first_lo = min(inner[0], max(1, math.ceil(remainder / deeper)))
+    return (
+        Interval(outer, outer),
+        Interval(first_lo, inner[0]),
+        *(Interval(p, p) for p in inner[1:]),
+    )
+
+
+def _primitives_of(sequence: "Primitive | object") -> tuple[Primitive, ...]:
+    prims = getattr(sequence, "primitives", sequence)
+    return tuple(prims)
+
+
+def profile(
+    subgraph: Subgraph,
+    sequence: "Sequence[Primitive] | object",
+    target: str = "cpu",
+    *,
+    pad_allowance: float = PAD_ALLOWANCE,
+    trace: bool = False,
+) -> StaticProfile:
+    """Abstractly interpret one sequence (a ``Schedule`` or primitive
+    tuple), raising :class:`AbsIntError` on any invalid step."""
+    interp = _Interpreter(
+        subgraph, target, _primitives_of(sequence), pad_allowance=pad_allowance
+    )
+    return interp.run(trace=trace)
+
+
+def profile_many(
+    subgraph: Subgraph,
+    sequences: Sequence["Sequence[Primitive] | object"],
+    target: str = "cpu",
+) -> np.ndarray:
+    """Static-feature plane (float32 ``[N, len(STATIC_FEATURE_NAMES)]``)
+    for a batch of already-valid sequences against one subgraph."""
+    n = len(sequences)
+    plane = np.empty((n, len(STATIC_FEATURE_NAMES)), dtype=np.float32)
+    for i, seq in enumerate(sequences):
+        plane[i] = profile(subgraph, seq, target).features()
+    return plane
+
+
+def nest_features(
+    subgraph: Subgraph, profiles: Sequence[StaticProfile]
+) -> NestFeatures:
+    """``simhw.cache.NestFeatures`` built from static profiles alone —
+    bit-identical to ``NestFeatures.from_nests`` over the applied nests
+    (the three-subsystem differential property)."""
+    return NestFeatures.from_nests(subgraph, [p.to_nest() for p in profiles])
+
+
+def draft_scores(
+    subgraph: Subgraph,
+    sequences: Sequence["Sequence[Primitive] | object"],
+    target: str = "cpu",
+) -> np.ndarray:
+    """Pruner-style static draft scores, higher = better (float32 ``[N]``).
+
+    Costs each static profile on the target's reference platform with the
+    analytical ``simhw`` model — no quirk term, no learned model — and
+    normalizes to ``min_latency / latency`` like the TLP training label.
+    """
+    from repro.simhw import cpu_model, gpu_model  # local: keep verifier import light
+
+    if not sequences:
+        return np.empty(0, dtype=np.float32)
+    profiles = [profile(subgraph, seq, target) for seq in sequences]
+    feats = nest_features(subgraph, profiles)
+    model = gpu_model if target == "gpu" else cpu_model
+    seconds, _ = model.latency_seconds(feats, reference_platform(target))
+    floor = np.maximum(seconds, np.float32(1e-30))
+    return (floor.min() / floor).astype(np.float32)
+
+
+def smell_diagnostics(
+    subgraph: Subgraph,
+    primitives: tuple[Primitive, ...],
+    target: str = "cpu",
+    *,
+    llc_kb: float | None = None,
+    min_parallel_extent: int | None = None,
+    unroll_body_budget: int | None = None,
+) -> list:
+    """W304–W306 diagnostics from absint facts (empty if absint rejects).
+
+    Thresholds default to the *worst* platform of the target — the
+    smallest last-level cache, core count, and unroll cap — so a warning
+    means "smells on at least one simulated device".
+    """
+    from repro.analysis.diagnostics import Diagnostic, make  # local: avoid cycle
+
+    try:
+        prof = profile(subgraph, primitives, target)
+    except AbsIntError:
+        return []
+    diags: list[Diagnostic] = []
+    if llc_kb is None:
+        llc_kb = reference_llc_kb(target)
+    if min_parallel_extent is None:
+        min_parallel_extent = reference_min_cores(target)
+    if unroll_body_budget is None:
+        unroll_body_budget = reference_unroll_budget(target)
+
+    # W304: one outermost-loop iteration's working set overflows the LLC.
+    if prof.loops and not prof.inlined:
+        tile_bytes = working_set_bytes(prof.outer_tile_points())
+        if tile_bytes > llc_kb * 1024.0:
+            diags.append(
+                make(
+                    "W304",
+                    -1,
+                    f"static outer-tile working set {tile_bytes / 1024.0:.0f} KB "
+                    f"exceeds the {llc_kb:.0f} KB last-level cache of the "
+                    f"smallest {target} platform",
+                )
+            )
+
+    # W305: parallel annotation on an axis too small to feed the cores.
+    for step, axis, extent in prof.parallel_facts:
+        if extent < min_parallel_extent:
+            diags.append(
+                make(
+                    "W305",
+                    step,
+                    f"parallel annotation on {axis!r} with abstract extent "
+                    f"{extent}, below the minimum core count "
+                    f"{min_parallel_extent} of the {target} platforms",
+                    axis,
+                )
+            )
+
+    # W306: unroll directive whose statically-bounded body blows the icache.
+    by_name = {l.name: i for i, l in enumerate(prof.loops)}
+    for step, axis in prof.unroll_facts:
+        at = by_name.get(axis)
+        if at is None:
+            continue  # annotated loop later fused away
+        body_points = math.prod(l.extent for l in prof.loops[at:])
+        body_instrs = body_points * max(prof.flops_per_point, 1.0)
+        if body_instrs > unroll_body_budget:
+            diags.append(
+                make(
+                    "W306",
+                    step,
+                    f"unroll of {axis!r} replicates a statically-bounded body of "
+                    f"~{body_instrs:.0f} instructions, beyond the {target} "
+                    f"icache budget {unroll_body_budget}",
+                    axis,
+                )
+            )
+    return diags
+
+
+__all__ = [
+    "AbsIntError",
+    "AbstractLoop",
+    "Interval",
+    "STATIC_FEATURE_NAMES",
+    "StaticProfile",
+    "draft_scores",
+    "nest_features",
+    "profile",
+    "profile_many",
+    "reference_llc_kb",
+    "reference_min_cores",
+    "reference_platform",
+    "reference_unroll_budget",
+    "smell_diagnostics",
+    "working_set_bytes",
+]

@@ -50,6 +50,9 @@ CODES: dict[str, str] = {
     "W301": "middle-loop extent is a large power of two (cache-set / bank conflict smell)",
     "W302": "auto_unroll_max_step exceeds the platform unroll cap",
     "W303": "degenerate split factor (1 or the full extent)",
+    "W304": "static outer-tile footprint exceeds the smallest last-level cache of the target",
+    "W305": "parallel annotation on an axis with abstract extent below the core count",
+    "W306": "unroll directive whose statically-bounded body blows the icache budget",
 }
 
 

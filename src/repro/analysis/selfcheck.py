@@ -1,205 +1,37 @@
-"""AST-based repo self-lint enforcing DESIGN.md §7 conventions.
+"""Compatibility shim over :mod:`repro.analysis.lint`.
 
-Rules:
-
-* ``SC101`` — no ``np.random`` / ``numpy.random`` access outside
-  ``repro/utils/rng.py``: all randomness must flow through named, seeded
-  streams or a ``Generator`` passed in by the caller.
-* ``SC102`` — no mutable default arguments (``def f(x=[])`` and friends).
-* ``SC103`` — no float64 literals (``np.float64`` / ``dtype="float64"``)
-  in NN compute paths (modules under ``nn``/``core``/``simhw``): the NN
-  substrate is pure float32.
-* ``SC104`` — no ``time`` module in simulated-measurement paths (modules
-  under ``simhw``): a simulated latency is a pure function of
-  (subgraph, schedule, platform, root seed), and any wall-clock read in
-  that path would silently break bit-reproducibility.
-
-A line containing ``selfcheck: allow`` suppresses findings on that line.
-Runnable as ``python -m repro.analysis.selfcheck [paths...]`` (defaults to
-``src/``; exits 1 on violations) and importable from tests.
+The original self-lint grew into a pluggable rule framework; this module
+keeps the historical import surface (``check_source`` / ``check_file`` /
+``check_tree`` / ``main`` / ``LintViolation`` / ``RULES`` /
+``SUPPRESS_TOKEN``) and the ``python -m repro.analysis.selfcheck``
+entry point alive.  New code should import :mod:`repro.analysis.lint`.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
-from dataclasses import dataclass
-from pathlib import Path
 
-#: Path suffixes (as POSIX strings) exempt from SC101 — the one blessed
-#: home of ``np.random``.
-RNG_MODULE_SUFFIX = "repro/utils/rng.py"
+from repro.analysis.lint import (
+    RNG_MODULE_SUFFIX,
+    RULES,
+    SUPPRESS_TOKEN,
+    LintViolation,
+    check_file,
+    check_source,
+    check_tree,
+    main,
+)
 
-#: Path components marking float32-only compute paths for SC103.
-COMPUTE_PATH_PARTS = frozenset({"nn", "core", "simhw"})
-
-#: Path components marking deterministic simulated-measurement paths for
-#: SC104 — no wall clock may leak into a simulated latency.
-SIMHW_PATH_PARTS = frozenset({"simhw"})
-
-SUPPRESS_TOKEN = "selfcheck: allow"
-
-RULES: dict[str, str] = {
-    "SC101": "np.random access outside repro.utils.rng (use named seeded streams)",
-    "SC102": "mutable default argument",
-    "SC103": "float64 literal in an NN compute path (float32 only)",
-    "SC104": "time module in a simhw measurement path (simulated latency must be wall-clock-free)",
-}
-
-_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"})
-
-
-@dataclass(frozen=True)
-class LintViolation:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-class _Checker(ast.NodeVisitor):
-    def __init__(self, path: str, source_lines: list[str]):
-        self.path = path
-        self.lines = source_lines
-        self.violations: list[LintViolation] = []
-        self.numpy_aliases: set[str] = set()
-        posix = Path(path).as_posix()
-        self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
-        self.is_compute_path = bool(COMPUTE_PATH_PARTS & set(Path(posix).parts))
-        self.is_simhw_path = bool(SIMHW_PATH_PARTS & set(Path(posix).parts))
-
-    def _suppressed(self, lineno: int) -> bool:
-        if 1 <= lineno <= len(self.lines):
-            return SUPPRESS_TOKEN in self.lines[lineno - 1]
-        return False
-
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        lineno = getattr(node, "lineno", 0)
-        if not self._suppressed(lineno):
-            self.violations.append(LintViolation(self.path, lineno, rule, message))
-
-    # -- SC101: unseeded randomness --------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.name == "numpy":
-                self.numpy_aliases.add(alias.asname or "numpy")
-            elif alias.name.startswith("numpy.random") and not self.is_rng_module:
-                self._flag(node, "SC101", f"import of {alias.name}")
-            if self.is_simhw_path and (alias.name == "time" or alias.name.startswith("time.")):
-                self._flag(node, "SC104", f"import of {alias.name}")
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        module = node.module or ""
-        if not self.is_rng_module:
-            if module.startswith("numpy.random"):
-                self._flag(node, "SC101", f"import from {module}")
-            elif module == "numpy" and any(a.name == "random" for a in node.names):
-                self._flag(node, "SC101", "import of numpy.random")
-        if self.is_simhw_path and (module == "time" or module.startswith("time.")):
-            self._flag(node, "SC104", f"import from {module}")
-        self.generic_visit(node)
-
-    def _is_np_random(self, node: ast.expr) -> bool:
-        return (
-            isinstance(node, ast.Attribute)
-            and node.attr == "random"
-            and isinstance(node.value, ast.Name)
-            and node.value.id in self.numpy_aliases
-        )
-
-    def visit_Call(self, node: ast.Call) -> None:
-        # Flag np.random.<fn>(...) calls; bare np.random.Generator type
-        # hints are fine — only invoking the global RNG is a violation.
-        func = node.func
-        if not self.is_rng_module and isinstance(func, ast.Attribute):
-            if self._is_np_random(func.value):
-                self._flag(node, "SC101", f"call to np.random.{func.attr}")
-        self.generic_visit(node)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        if self.is_compute_path and node.attr == "float64":
-            self._flag(node, "SC103", "np.float64 reference")
-        self.generic_visit(node)
-
-    # -- SC102: mutable defaults -----------------------------------------
-
-    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        for default in [*node.args.defaults, *node.args.kw_defaults]:
-            if default is None:
-                continue
-            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
-                self._flag(default, "SC102", f"in signature of {node.name}()")
-            elif (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in _MUTABLE_CALLS
-            ):
-                self._flag(default, "SC102", f"{default.func.id}() call in signature of {node.name}()")
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    # -- SC103: float64 literals -----------------------------------------
-
-    def visit_Constant(self, node: ast.Constant) -> None:
-        if self.is_compute_path and node.value == "float64":
-            self._flag(node, "SC103", '"float64" literal')
-        self.generic_visit(node)
-
-
-def check_source(source: str, path: str) -> list[LintViolation]:
-    """Lint one module's source text; ``path`` scopes the path-based rules."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintViolation(path, exc.lineno or 0, "SC101", f"unparseable: {exc.msg}")]
-    checker = _Checker(path, source.splitlines())
-    checker.visit(tree)
-    return sorted(checker.violations, key=lambda v: (v.path, v.line))
-
-
-def check_file(path: Path, display_path: str | None = None) -> list[LintViolation]:
-    return check_source(path.read_text(), display_path or str(path))
-
-
-def check_tree(root: Path) -> list[LintViolation]:
-    """Lint every ``*.py`` file under ``root`` (or ``root`` itself)."""
-    root = Path(root)
-    files = [root] if root.is_file() else sorted(root.rglob("*.py"))
-    violations: list[LintViolation] = []
-    for f in files:
-        violations.extend(check_file(f))
-    return violations
-
-
-def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    roots = [Path(a) for a in args] or [Path("src")]
-    violations: list[LintViolation] = []
-    for root in roots:
-        if not root.exists():
-            print(f"selfcheck: path {root} does not exist", file=sys.stderr)
-            return 2
-        violations.extend(check_tree(root))
-    for v in violations:
-        print(v)
-    if violations:
-        print(f"selfcheck: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    checked = ", ".join(str(r) for r in roots)
-    print(f"selfcheck: clean ({checked})")
-    return 0
-
+__all__ = [
+    "RNG_MODULE_SUFFIX",
+    "RULES",
+    "SUPPRESS_TOKEN",
+    "LintViolation",
+    "check_file",
+    "check_source",
+    "check_tree",
+    "main",
+]
 
 if __name__ == "__main__":
     sys.exit(main())

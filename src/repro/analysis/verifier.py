@@ -23,10 +23,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Sequence
 
+from repro.analysis import absint
 from repro.analysis.diagnostics import Diagnostic, InvalidScheduleError, errors, make
+from repro.simhw.cache import POW2_CONFLICT_THRESHOLD
 from repro.tensorir.primitives import (
     ANNOTATIONS,
+    ARITY,
     GPU_BIND_PREFIX,
+    KIND_BY_VALUE,
     PRAGMAS,
     Primitive,
     PrimitiveKind,
@@ -46,11 +50,22 @@ class VerifierConfig:
     #: Defaults to the same constant the sampler's by-construction check
     #: uses, so the two cannot drift.
     pad_allowance: float = PAD_ALLOWANCE
-    #: Middle-loop extents >= this that are powers of two trigger W301
-    #: (they alias cache sets / shared-memory banks in ``repro.simhw``).
-    pow2_conflict_threshold: int = 64
+    #: Middle-loop extents >= this that are powers of two trigger W301.
+    #: The default is ``repro.simhw.cache.POW2_CONFLICT_THRESHOLD`` — one
+    #: shared constant, so the static smell marks exactly what the
+    #: simulated hardware punishes.
+    pow2_conflict_threshold: int = POW2_CONFLICT_THRESHOLD
     #: ``auto_unroll_max_step`` values above this trigger W302.
     max_auto_unroll: int = 512
+    #: Run the abstract interpreter on error-free sequences to emit the
+    #: W304–W306 smells.  Only the full-diagnostics mode pays for it —
+    #: ``stop_on_error`` callers (the generate/score hot paths) skip it.
+    absint_smells: bool = True
+    #: Thresholds for W304/W305/W306; ``None`` derives each from the
+    #: worst platform of the target (see ``repro.analysis.absint``).
+    footprint_llc_kb: float | None = None
+    parallel_min_extent: int | None = None
+    unroll_body_budget: int | None = None
 
 
 class _Liveness(Enum):
@@ -68,24 +83,10 @@ class _AxisState:
     kind_annotation: str = ""
 
 
-_ARITY = {
-    # kind -> (n_axes, min_ints, max_ints, needs_attr)
-    PrimitiveKind.SP: (1, 2, None, False),
-    PrimitiveKind.RE: (None, 0, 0, False),
-    PrimitiveKind.FU: (None, 0, 0, False),
-    PrimitiveKind.AN: (1, 0, 0, True),
-    PrimitiveKind.PR: (1, 1, 1, True),
-    PrimitiveKind.FSP: (1, 2, 2, False),
-    PrimitiveKind.CA: (1, 0, 0, False),
-    PrimitiveKind.CHW: (0, 0, 0, False),
-    PrimitiveKind.RF: (1, 0, 0, False),
-    PrimitiveKind.CI: (0, 0, 0, False),
-    PrimitiveKind.CP: (0, 0, 0, False),
-}
-
-#: ``PrimitiveKind`` is a str enum, so this resolves both enum members and
-#: raw kind strings in one dict probe — no try/except per primitive.
-_KIND_BY_VALUE: dict[str, PrimitiveKind] = {k.value: k for k in PrimitiveKind}
+# Shared with the abstract interpreter via ``repro.tensorir.primitives``
+# so the E101 rule and absint's structural checks cannot drift.
+_ARITY = ARITY
+_KIND_BY_VALUE = KIND_BY_VALUE
 
 
 class SequenceVerifier:
@@ -149,6 +150,24 @@ class SequenceVerifier:
                 dispatch[kind](prim, index)
             if stop_on_error and any(d.is_error for d in diags[checkpoint:]):
                 break
+        if (
+            not stop_on_error
+            and self.config.absint_smells
+            and not any(d.is_error for d in diags)
+        ):
+            # Error-free sequence: derive the W304–W306 smells from the
+            # abstract interpreter's facts.  Fast-path callers gate on
+            # validity only and never reach this.
+            diags.extend(
+                absint.smell_diagnostics(
+                    self.subgraph,
+                    self.primitives,
+                    self.target,
+                    llc_kb=self.config.footprint_llc_kb,
+                    min_parallel_extent=self.config.parallel_min_extent,
+                    unroll_body_budget=self.config.unroll_body_budget,
+                )
+            )
         return diags
 
     # -- plumbing -------------------------------------------------------
@@ -287,7 +306,9 @@ class SequenceVerifier:
 
     def _visit_re(self, prim: Primitive, index: int) -> None:
         named = list(prim.axes)
-        for axis in set(named):
+        # dict.fromkeys, not set(): diagnostic emission order must not
+        # depend on string hashing (bit-reproducibility, lint rule SC105).
+        for axis in dict.fromkeys(named):
             self._resolve(axis, index)
         if sorted(named) != sorted(self.order):
             missing = sorted(set(self.order) - set(named))

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import absint
 from repro.analysis.diagnostics import errors
 from repro.analysis.verifier import verify_many
 from repro.core.extractor import SequenceLike, TLPFeaturizer, _primitives_of
@@ -57,6 +58,7 @@ class ScoredTopK:
     scores: np.ndarray       #: float32 [k] — their predicted scores, descending
     n_candidates: int        #: how many candidates were submitted
     n_invalid: int           #: how many failed static verification
+    n_predicted: int         #: how many reached ``TLPModel.predict``
 
     @property
     def n_scored(self) -> int:
@@ -115,7 +117,7 @@ class CandidateScorer:
         if not valid:
             return ScoredTopK(np.empty(0, dtype=np.int64),
                               np.empty(0, dtype=np.float32),
-                              len(sequences), n_invalid)
+                              len(sequences), n_invalid, 0)
         scores = self.score([sequences[i] for i in valid])
         order = np.argsort(-scores, kind="stable")[:k]
         return ScoredTopK(
@@ -123,30 +125,60 @@ class CandidateScorer:
             scores=scores[order],
             n_candidates=len(sequences),
             n_invalid=n_invalid,
+            n_predicted=len(valid),
         )
 
     # -- propose-and-score (the search inner loop) -----------------------
 
     def propose_topk(self, subgraph: Subgraph, n: int, k: int,
-                     rng: np.random.Generator) -> tuple[list[Schedule], ScoredTopK]:
+                     rng: np.random.Generator, *,
+                     draft_keep: float | None = None,
+                     ) -> tuple[list[Schedule], ScoredTopK]:
         """Sample ``n`` fresh candidates and return them with their top-k.
 
         Proposals come from ``SketchGenerator.generate_many`` and are
         therefore verified fail-closed before scoring; the returned
         ``ScoredTopK`` consequently has ``n_invalid == 0``.
+
+        ``draft_keep`` enables the Pruner-style draft-then-verify path:
+        every candidate gets a cheap static draft score from the abstract
+        interpreter (``repro.analysis.absint.draft_scores`` — the
+        analytical ``simhw`` cost of the abstract nest, no learned model),
+        and only the best ``ceil(draft_keep * n)`` reach
+        ``TLPModel.predict``.  The draft slice is scored in original
+        candidate order, so on the kept subset the ranking (including
+        stable tie-breaks) is exactly what the full path would produce;
+        ``draft_keep=1.0`` is bit-identical to the default path.
+        ``n_predicted`` records how many candidates the model actually saw.
         """
         if self.generator is None:
             raise ValueError("propose_topk needs a SketchGenerator at construction")
         n = _require_positive("n", n)
         k = _require_positive("k", k)
+        if draft_keep is not None and not 0.0 < draft_keep <= 1.0:
+            raise ValueError(f"draft_keep must be in (0, 1], got {draft_keep}")
         schedules = self.generator.generate_many(subgraph, n, rng)
-        scores = self.score(schedules)
+        if draft_keep is None:
+            kept = np.arange(len(schedules), dtype=np.int64)
+        else:
+            draft = absint.draft_scores(
+                subgraph, [_primitives_of(s) for s in schedules],
+                self.generator.config.target)
+            # Never keep fewer than k (or everything, when n < k): the
+            # draft screens, it must not shrink the answer.
+            n_keep = max(int(np.ceil(draft_keep * len(schedules))),
+                         min(k, len(schedules)))
+            # Ascending original order within the kept slice keeps the
+            # model path's stable tie-break identical to the full path.
+            kept = np.sort(np.argsort(-draft, kind="stable")[:n_keep])
+        scores = self.score([schedules[i] for i in kept])
         order = np.argsort(-scores, kind="stable")[:k]
         # n_candidates reports what the generator actually produced, not
         # the requested n — keeps n_scored honest if a generator ever
         # over- or under-delivers.
-        top = ScoredTopK(indices=order.astype(np.int64), scores=scores[order],
-                         n_candidates=len(schedules), n_invalid=0)
+        top = ScoredTopK(indices=kept[order], scores=scores[order],
+                         n_candidates=len(schedules), n_invalid=0,
+                         n_predicted=len(kept))
         return schedules, top
 
 

@@ -53,9 +53,10 @@ BYTES_PER_POINT: float = 4.0
 REUSE_EXPONENT: float = 2.0 / 3.0
 
 #: Middle-loop extents >= this that are powers of two alias cache sets /
-#: shared-memory banks.  Kept equal to the verifier's W301 threshold
-#: (``repro.analysis.VerifierConfig.pow2_conflict_threshold``) so the
-#: static smell marks exactly what the simulated hardware punishes.
+#: shared-memory banks.  The single source of truth for this geometry
+#: constant: the verifier's W301 default and the abstract interpreter
+#: import it from here, so the static smells mark exactly what the
+#: simulated hardware punishes.
 POW2_CONFLICT_THRESHOLD: int = 64
 
 

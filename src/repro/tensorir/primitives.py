@@ -54,6 +54,28 @@ PRAGMAS: tuple[str, ...] = ("auto_unroll_max_step", "unroll_explicit")
 #: Separator used in fused-axis names, mirroring Ansor ("i.0@j.0").
 FUSE_SEP = "@"
 
+#: Structural arity per kind: (n_axes, min_ints, max_ints, needs_attr),
+#: with ``None`` meaning unconstrained.  The table form of the field-use
+#: matrix in :class:`Primitive`'s docstring — shared by the verifier's
+#: E101 rule and the abstract interpreter so the two cannot drift.
+ARITY: "dict[PrimitiveKind, tuple[int | None, int, int | None, bool]]" = {
+    PrimitiveKind.SP: (1, 2, None, False),
+    PrimitiveKind.RE: (None, 0, 0, False),
+    PrimitiveKind.FU: (None, 0, 0, False),
+    PrimitiveKind.AN: (1, 0, 0, True),
+    PrimitiveKind.PR: (1, 1, 1, True),
+    PrimitiveKind.FSP: (1, 2, 2, False),
+    PrimitiveKind.CA: (1, 0, 0, False),
+    PrimitiveKind.CHW: (0, 0, 0, False),
+    PrimitiveKind.RF: (1, 0, 0, False),
+    PrimitiveKind.CI: (0, 0, 0, False),
+    PrimitiveKind.CP: (0, 0, 0, False),
+}
+
+#: ``PrimitiveKind`` is a str enum, so this resolves both enum members and
+#: raw kind strings in one dict probe — no try/except per primitive.
+KIND_BY_VALUE: "dict[str, PrimitiveKind]" = {k.value: k for k in PrimitiveKind}
+
 
 @dataclass(frozen=True)
 class Primitive:
@@ -165,8 +187,10 @@ def compute_root() -> Primitive:
 
 __all__ = [
     "ANNOTATIONS",
+    "ARITY",
     "FUSE_SEP",
     "GPU_BIND_PREFIX",
+    "KIND_BY_VALUE",
     "PRAGMAS",
     "Primitive",
     "PrimitiveKind",

@@ -65,6 +65,13 @@ class Schedule:
         """Apply every primitive, returning the resulting loop nest."""
         return _Applier(self).run()
 
+    def apply_trace(self) -> list[LoopNest]:
+        """Apply step by step, returning the nest snapshot after each
+        primitive (introspection hook for differential testing against
+        ``repro.analysis.absint``).  The last snapshot equals ``apply()``.
+        """
+        return _Applier(self).run_trace()
+
     def __len__(self) -> int:
         return len(self.primitives)
 
@@ -96,6 +103,35 @@ class _Applier:
             except (KeyError, ValueError, IndexError) as exc:
                 raise ScheduleError(f"step {index}: {exc}") from exc
         return self.nest
+
+    def run_trace(self) -> list[LoopNest]:
+        """Like :meth:`run`, but snapshot the nest after every primitive.
+
+        Loops are frozen dataclasses, so a shallow list copy per step is
+        a faithful snapshot.
+        """
+        snapshots: list[LoopNest] = []
+        for index, prim in enumerate(self.schedule.primitives):
+            self._step = index
+            if self.nest.inlined:
+                raise ScheduleError(f"step {index}: primitive after compute-inline")
+            try:
+                self._apply_one(prim)
+            except ScheduleError:
+                raise
+            except (KeyError, ValueError, IndexError) as exc:
+                raise ScheduleError(f"step {index}: {exc}") from exc
+            snapshots.append(
+                LoopNest(
+                    subgraph_name=self.nest.subgraph_name,
+                    loops=list(self.nest.loops),
+                    cache_write=self.nest.cache_write,
+                    inlined=self.nest.inlined,
+                    compute_at_axis=self.nest.compute_at_axis,
+                    compute_root=self.nest.compute_root,
+                )
+            )
+        return snapshots
 
     def _index(self, axis: str) -> int:
         for i, l in enumerate(self.nest.loops):

@@ -163,3 +163,53 @@ def test_propose_topk_counts_generator_output_not_request(scorer, subgraph):
     assert top.n_candidates == 6  # not the requested 8
     assert top.n_invalid == 0 and top.n_scored == 6
     assert len(top.indices) == 3
+
+
+# -- draft-then-verify (Pruner-style static screening) -----------------------
+
+
+def test_draft_keep_one_is_bit_identical_to_full_path(scorer, subgraph):
+    _, full = scorer.propose_topk(subgraph, n=_N, k=5,
+                                  rng=stream("test.scoring.draft"))
+    _, drafted = scorer.propose_topk(subgraph, n=_N, k=5,
+                                     rng=stream("test.scoring.draft"),
+                                     draft_keep=1.0)
+    assert np.array_equal(full.indices, drafted.indices)
+    assert np.array_equal(full.scores, drafted.scores)
+    assert full.n_predicted == drafted.n_predicted == _N
+
+
+def test_draft_keep_bounds_model_calls(scorer, subgraph):
+    _, top = scorer.propose_topk(subgraph, n=_N, k=3,
+                                 rng=stream("test.scoring.draft.half"),
+                                 draft_keep=0.5)
+    assert top.n_predicted == _N // 2
+    assert top.n_candidates == _N and top.n_invalid == 0
+    assert len(top.indices) == 3
+    # The returned scores are real model scores of the kept candidates.
+    assert (top.scores[:-1] >= top.scores[1:]).all()
+
+
+def test_draft_keep_never_shrinks_below_k(scorer, subgraph):
+    _, top = scorer.propose_topk(subgraph, n=6, k=5,
+                                 rng=stream("test.scoring.draft.floor"),
+                                 draft_keep=0.01)
+    assert top.n_predicted == 5  # max(ceil(0.01*6), min(k, n)) = k
+    assert len(top.indices) == 5
+
+
+def test_draft_keep_validation(scorer, subgraph):
+    for bad in (0.0, -0.5, 1.5):
+        with pytest.raises(ValueError, match="draft_keep"):
+            scorer.propose_topk(subgraph, n=4, k=2,
+                                rng=stream("test.scoring.draft.bad"),
+                                draft_keep=bad)
+
+
+def test_n_predicted_tracks_valid_subset_in_score_topk(scorer, subgraph, corpus):
+    top = scorer.score_topk(subgraph, corpus, k=5)
+    assert top.n_predicted == _N
+    corrupted = zero_split_factor(corpus[0])
+    mixed = [corrupted if corrupted is not None else corpus[0], *corpus[1:]]
+    top = scorer.score_topk(subgraph, mixed, k=5)
+    assert top.n_predicted == top.n_scored == _N - top.n_invalid

@@ -100,3 +100,17 @@ def test_suppression_token():
 def test_unparseable_file_is_reported():
     found = selfcheck.check_source("def broken(:\n", "repro/x.py")
     assert len(found) == 1 and "unparseable" in found[0].message
+    # Parse errors have their own code — SC101 is reserved for the
+    # np.random rule (regression: they used to share a code).
+    assert found[0].rule == "SC100"
+
+
+def test_check_file_reads_utf8(tmp_path):
+    # Non-ASCII comments and strings must lint identically everywhere,
+    # independent of the platform's default encoding.
+    target = tmp_path / "repro" / "módulo.py"
+    target.parent.mkdir()
+    target.write_text(
+        "# síntesis — ñandú\nGREETING = 'héllo wörld'\n", encoding="utf-8"
+    )
+    assert selfcheck.check_file(target) == []
