@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint lint-json gradcheck bench bench-save smoke-infer smoke-simhw check
+.PHONY: test lint lint-json gradcheck bench bench-save smoke-infer smoke-simhw smoke-dataset check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,7 @@ bench-save:
 	$(PYTHON) benchmarks/bench_save_inference.py
 	$(PYTHON) benchmarks/bench_save_simhw.py
 	$(PYTHON) benchmarks/bench_save_absint.py
+	$(PYTHON) benchmarks/bench_save_dataset.py
 
 # ~2 s end-to-end serving smoke: propose -> verify -> featurize ->
 # predict -> top-k, asserting predict bit-identical to the taped forward.
@@ -36,4 +37,10 @@ smoke-infer:
 smoke-simhw:
 	$(PYTHON) -c "import importlib; raise SystemExit(importlib.import_module('repro.simhw.measure').main([]))"
 
-check: lint test gradcheck smoke-infer smoke-simhw
+# Dataset-factory smoke: build the tiny 2-platform, multi-shard store
+# twice, asserting bit-identical shards + manifest and a readable
+# network-level split (also runnable as `python -m repro.dataset.pipeline`).
+smoke-dataset:
+	$(PYTHON) -c "import importlib; raise SystemExit(importlib.import_module('repro.dataset.pipeline').main([]))"
+
+check: lint test gradcheck smoke-infer smoke-simhw smoke-dataset

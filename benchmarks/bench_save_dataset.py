@@ -1,0 +1,134 @@
+"""Measure dataset-factory throughput at scale and write BENCH_dataset.json.
+
+``make bench-save`` runs this last: it builds a >= 1M-record store —
+all 5 network pools (30 tasks) x 4,800 candidates x all 7 simulated
+platforms = 1,008,000 records — on one core and records records/sec
+against the ISSUE 7 floor of 5,000/s.
+
+Memory flatness is measured the only way that is honest: two *separate
+subprocess* builds (1/8-scale and full-scale) each report their own
+``ru_maxrss``.  Streaming shards mean peak RSS is one candidate batch
+plus one shard regardless of dataset size, so the full-scale build may
+not grow its peak by more than a small constant factor over the
+1/8-scale build.  The store digest is recorded so the perf trajectory
+doubles as a cross-machine determinism probe.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_dataset.json"
+
+ALL_PLATFORMS = (
+    "platinum-8272", "e5-2673", "i7-10510u", "epyc-7452", "graviton2",
+    "k80", "t4",
+)
+ALL_NETWORKS = ("resnet50", "resnet18", "mobilenet_v2", "bert_base", "bert_tiny")
+
+#: 30 tasks x 4800 candidates x 7 platforms = 1,008,000 records.
+FULL_CANDIDATES = 4800
+SMALL_CANDIDATES = FULL_CANDIDATES // 8
+SHARD_SIZE = 65536
+FLOOR_RECORDS_PER_SEC = 5000.0
+#: Full-scale peak RSS must stay within this factor of the 1/8-scale run.
+RSS_FLATNESS_FACTOR = 1.35
+
+_CHILD = r"""
+import json, resource, sys, tempfile, time
+sys.path.insert(0, sys.argv[1])
+from pathlib import Path
+from repro.dataset import DatasetSpec, build_dataset
+
+candidates = int(sys.argv[2])
+spec = DatasetSpec(
+    name="bench-full",
+    networks={networks!r},
+    platforms={platforms!r},
+    candidates_per_task=candidates,
+    shard_size={shard_size},
+    holdout_networks=("mobilenet_v2",),
+)
+with tempfile.TemporaryDirectory(prefix="repro-bench-dataset-") as tmp:
+    t0 = time.perf_counter()
+    manifest = build_dataset(spec, Path(tmp) / "store")
+    elapsed = time.perf_counter() - t0
+assert manifest.complete
+print(json.dumps({{
+    "records": manifest.total_records,
+    "shards": len(manifest.shards),
+    "seconds": round(elapsed, 3),
+    "records_per_sec": round(manifest.total_records / elapsed, 1),
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "digest": manifest.store_digest(),
+    "mean_seq_len": manifest.stats["mean_len"],
+}}))
+"""
+
+
+def _run_build(candidates: int) -> dict:
+    code = _CHILD.format(
+        networks=ALL_NETWORKS, platforms=ALL_PLATFORMS, shard_size=SHARD_SIZE
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(REPO_ROOT / "src"), str(candidates)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def main() -> int:
+    print(f"building 1/8-scale store ({SMALL_CANDIDATES} candidates/task)...")
+    small = _run_build(SMALL_CANDIDATES)
+    print(f"  {small['records']} records in {small['seconds']}s "
+          f"({small['records_per_sec']}/s, peak {small['ru_maxrss_kb']} kB)")
+
+    print(f"building full-scale store ({FULL_CANDIDATES} candidates/task)...")
+    full = _run_build(FULL_CANDIDATES)
+    print(f"  {full['records']} records in {full['seconds']}s "
+          f"({full['records_per_sec']}/s, peak {full['ru_maxrss_kb']} kB)")
+
+    rss_ratio = full["ru_maxrss_kb"] / small["ru_maxrss_kb"]
+    scale = full["records"] / small["records"]
+    assert full["records"] >= 1_000_000, full["records"]
+    assert full["records_per_sec"] >= FLOOR_RECORDS_PER_SEC, full
+    assert rss_ratio <= RSS_FLATNESS_FACTOR, (
+        f"peak RSS grew {rss_ratio:.2f}x on a {scale:.0f}x larger build — "
+        "the pipeline is no longer streaming"
+    )
+
+    report = {
+        "benchmark": "dataset",
+        "networks": len(ALL_NETWORKS),
+        "tasks": 30,
+        "platforms": len(ALL_PLATFORMS),
+        "candidates_per_task": FULL_CANDIDATES,
+        "records": full["records"],
+        "shards": full["shards"],
+        "seconds": full["seconds"],
+        "records_per_sec": full["records_per_sec"],
+        "floor_records_per_sec": FLOOR_RECORDS_PER_SEC,
+        "mean_seq_len": full["mean_seq_len"],
+        "memory": {
+            "small_records": small["records"],
+            "small_peak_rss_kb": small["ru_maxrss_kb"],
+            "full_peak_rss_kb": full["ru_maxrss_kb"],
+            "rss_ratio_on_8x_build": round(rss_ratio, 3),
+            "flatness_factor_budget": RSS_FLATNESS_FACTOR,
+        },
+        "store_digest_sha256": full["digest"],
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    print(f"  records_per_sec: {report['records_per_sec']} "
+          f"(floor {FLOOR_RECORDS_PER_SEC})")
+    print(f"  peak RSS ratio on 8x build: {report['memory']['rss_ratio_on_8x_build']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

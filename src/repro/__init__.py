@@ -16,6 +16,9 @@ Currently present:
 * ``repro.simhw``    — deterministic simulated-hardware latency substrate:
   7 analytical platform models (5 CPU, 2 GPU) standing in for the TenSet
   measurement farm.
+* ``repro.dataset``  — TenSet-scale streaming dataset factory: network-pool
+  specs to columnar memory-mapped shard stores with a resumable manifest,
+  plus the ``ShardReader`` training view.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.analysis import (
     verify_sequence,
 )
 from repro.core import PostprocessConfig, TLPFeaturizer, TLPModel, TLPModelConfig
+from repro.dataset import DatasetSpec, Manifest, ShardReader, build_dataset
 from repro.simhw import (
     ALL_PLATFORMS,
     LatencyRecord,
@@ -60,12 +64,14 @@ __all__ = [
     "__version__",
     "ALL_PLATFORMS",
     "Axis",
+    "DatasetSpec",
     "Diagnostic",
     "InvalidScheduleError",
     "LatencyRecord",
     "Loop",
     "LoopKind",
     "LoopNest",
+    "Manifest",
     "Platform",
     "PostprocessConfig",
     "Primitive",
@@ -74,12 +80,14 @@ __all__ = [
     "ScheduleError",
     "ScheduleSampler",
     "Severity",
+    "ShardReader",
     "SketchConfig",
     "SketchGenerator",
     "Subgraph",
     "TLPFeaturizer",
     "TLPModel",
     "TLPModelConfig",
+    "build_dataset",
     "get_platform",
     "labels_from_latencies",
     "measure",

@@ -82,6 +82,7 @@ class TLPFeaturizer:
         )
         self._hits = 0
         self._misses = 0
+        self._rows_encoded = 0
 
     # -- fitting --------------------------------------------------------
 
@@ -110,10 +111,7 @@ class TLPFeaturizer:
         self.vocab_ = {c: i for i, c in enumerate(sorted(chars), start=_FIRST_CHAR_ID)}
         self.raw_width_ = N_KINDS + max_payload
         self.kind_widths_ = kind_widths
-        self._row_memo.clear()
-        self._seq_cache.clear()
-        self._hits = 0
-        self._misses = 0
+        self.cache_clear()
         return self
 
     def fit_transform(
@@ -161,6 +159,50 @@ class TLPFeaturizer:
                 mask[i, :length] = 1.0
         return X, mask
 
+    def transform_into(
+        self,
+        sequences: Sequence[SequenceLike],
+        X: np.ndarray,
+        mask: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode a batch into caller-provided ``X``/``mask`` buffers.
+
+        The buffer-donation path for long-running generators (the dataset
+        shard writer): the same two tensors are rewritten batch after
+        batch, so steady state performs zero tensor allocations — the
+        only writes are memoized 22-float row copies.  The sequence LRU
+        is bypassed (shard batches are fresh by construction; caching
+        them would only grow the memo), so ``cache_info`` hit/miss
+        counters are untouched.  Output is bit-identical to
+        :meth:`transform` over the same sequences.
+
+        ``X`` must be float32 ``[cap, seq_len, emb]`` and ``mask``
+        float32 ``[cap, seq_len]`` with ``cap >= len(sequences)``; the
+        written views ``X[:n], mask[:n]`` are returned.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("TLPFeaturizer.transform_into called before fit()")
+        cfg = self.config
+        n = len(sequences)
+        if X.shape[1:] != (cfg.seq_len, cfg.emb) or X.shape[0] < n:
+            raise ValueError(
+                f"X buffer has shape {X.shape}, need [>= {n}, {cfg.seq_len}, {cfg.emb}]"
+            )
+        if mask.shape[1:] != (cfg.seq_len,) or mask.shape[0] < n:
+            raise ValueError(
+                f"mask buffer has shape {mask.shape}, need [>= {n}, {cfg.seq_len}]"
+            )
+        if X.dtype != np.float32 or mask.dtype != np.float32:
+            raise ValueError(
+                f"buffers must be float32, got X={X.dtype}, mask={mask.dtype}"
+            )
+        for i in range(n):
+            length = self._encode_into(X[i], _primitives_of(sequences[i]))
+            X[i, length:] = 0.0
+            mask[i, :length] = 1.0
+            mask[i, length:] = 0.0
+        return X[:n], mask[:n]
+
     def _encode(self, prims: tuple[Primitive, ...]) -> tuple[np.ndarray, int]:
         cfg = self.config
         encoded = np.zeros((cfg.seq_len, cfg.emb), dtype=np.float32)
@@ -182,6 +224,7 @@ class TLPFeaturizer:
         """One primitive's feature row, crop fused in (width = ``emb``)."""
         emb = self.config.emb
         vocab = self.vocab_
+        self._rows_encoded += 1
         row = np.zeros(emb, dtype=np.float32)
         ap = abstract(prim)
         if ap.kind_index < emb:
@@ -206,7 +249,9 @@ class TLPFeaturizer:
 
         With ``cache_size=0`` the LRU does not exist, so ``hits`` and
         ``misses`` stay at 0 — a plain encode is not a miss of a cache
-        that was never consulted.
+        that was never consulted.  ``rows_encoded`` counts row
+        materializations (row-memo misses) — the allocation count the
+        zero-alloc shard-writer tests pin.
         """
         return {
             "hits": self._hits,
@@ -214,7 +259,24 @@ class TLPFeaturizer:
             "size": len(self._seq_cache),
             "capacity": self.cache_size,
             "row_memo_size": len(self._row_memo),
+            "rows_encoded": self._rows_encoded,
         }
+
+    def cache_clear(self) -> None:
+        """Drop the sequence LRU *and* the per-primitive row memo.
+
+        The LRU is bounded but the row memo is not — a long dataset
+        generation run visits ever-new split factors, so the shard
+        pipeline calls this between task batches to keep steady-state
+        memory flat.  Hit/miss/rows-encoded counters reset with it; the
+        fitted vocabulary is untouched, so subsequent encodes stay
+        bit-identical.
+        """
+        self._seq_cache.clear()
+        self._row_memo.clear()
+        self._hits = 0
+        self._misses = 0
+        self._rows_encoded = 0
 
 
 __all__ = ["PAD_ID", "UNK_ID", "SequenceLike", "TLPFeaturizer"]

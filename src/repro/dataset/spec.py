@@ -1,0 +1,220 @@
+"""Dataset specifications and the deterministic row plan.
+
+A :class:`DatasetSpec` is the *complete* description of a dataset store:
+which network pools contribute tasks, which simulated platforms label
+them, how many candidate schedules each task gets, the shard size, the
+network-level holdout, and the root seed.  Everything downstream — the
+candidate batches, the shard bytes, the manifest — is a pure function of
+the spec, so two builds of the same spec are bit-identical and a crashed
+build resumes by replanning from the spec alone.
+
+The **row plan** is the contract that makes that work: record rows are
+laid out in one canonical order (tasks in spec order; per task, the CPU
+candidate batch then the GPU candidate batch; per batch, the target's
+platforms in spec order; per platform, candidates in sampling order) and
+chunked into fixed-size shards.  :func:`plan_batches` computes the full
+(task, target) -> row-range mapping without doing any generation work,
+so a resume can locate the first missing row and recompute only the
+batches that overlap it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.simhw.platform import PLATFORMS, get_platform
+from repro.tensorir.networks import network_pool
+from repro.tensorir.sketch import TARGETS
+from repro.tensorir.subgraph import Subgraph
+from repro.utils.rng import ROOT_SEED
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything that determines a dataset store, and nothing else."""
+
+    name: str
+    networks: tuple[str, ...]
+    platforms: tuple[str, ...]
+    candidates_per_task: int = 512
+    shard_size: int = 8192
+    holdout_networks: tuple[str, ...] = field(default=())
+    root_seed: int = ROOT_SEED
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "networks", tuple(self.networks))
+        object.__setattr__(self, "platforms", tuple(self.platforms))
+        object.__setattr__(self, "holdout_networks", tuple(self.holdout_networks))
+        if not _NAME_RE.match(self.name or ""):
+            raise ValueError(
+                f"spec name {self.name!r} must match {_NAME_RE.pattern} "
+                "(it names rng streams and store files)"
+            )
+        if not self.networks:
+            raise ValueError("spec needs at least one network pool")
+        if len(set(self.networks)) != len(self.networks):
+            raise ValueError(f"duplicate networks in spec: {self.networks}")
+        for net in self.networks:
+            network_pool(net)  # raises KeyError with the known names
+        if not self.platforms:
+            raise ValueError("spec needs at least one platform")
+        if len(set(self.platforms)) != len(self.platforms):
+            raise ValueError(f"duplicate platforms in spec: {self.platforms}")
+        for plat in self.platforms:
+            if plat not in PLATFORMS:
+                raise ValueError(
+                    f"unknown platform {plat!r}; known: {', '.join(PLATFORMS)}"
+                )
+        extra = [n for n in self.holdout_networks if n not in self.networks]
+        if extra:
+            raise ValueError(f"holdout networks not in the spec's networks: {extra}")
+        if self.candidates_per_task < 1:
+            raise ValueError(f"candidates_per_task must be >= 1, got {self.candidates_per_task}")
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "networks": list(self.networks),
+            "platforms": list(self.platforms),
+            "candidates_per_task": self.candidates_per_task,
+            "shard_size": self.shard_size,
+            "holdout_networks": list(self.holdout_networks),
+            "root_seed": self.root_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DatasetSpec":
+        return cls(
+            name=d["name"],
+            networks=tuple(d["networks"]),
+            platforms=tuple(d["platforms"]),
+            candidates_per_task=int(d["candidates_per_task"]),
+            shard_size=int(d["shard_size"]),
+            holdout_networks=tuple(d["holdout_networks"]),
+            root_seed=int(d["root_seed"]),
+        )
+
+    # -- derived structure -----------------------------------------------
+
+    def platform_ids_for_target(self, target: str) -> tuple[int, ...]:
+        """Indices into ``self.platforms`` whose device matches ``target``."""
+        return tuple(
+            i for i, name in enumerate(self.platforms)
+            if get_platform(name).target == target
+        )
+
+    def split_of(self, network: str) -> str:
+        """``"holdout"`` for held-out networks, ``"train"`` otherwise."""
+        if network not in self.networks:
+            raise ValueError(f"network {network!r} is not part of this spec")
+        return "holdout" if network in self.holdout_networks else "train"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One (network, subgraph) tuning task with its stable id."""
+
+    task_id: int
+    network: str
+    subgraph: Subgraph
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One generation unit: a task's candidate batch for one target.
+
+    The batch's ``candidates_per_task`` schedules are measured on every
+    spec platform of ``target``, contributing ``n_rows`` consecutive
+    record rows starting at ``row_start`` in the canonical stream.
+    """
+
+    task: Task
+    target: str
+    platform_ids: tuple[int, ...]
+    row_start: int
+    n_candidates: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.n_candidates * len(self.platform_ids)
+
+    @property
+    def row_end(self) -> int:
+        return self.row_start + self.n_rows
+
+    @property
+    def key(self) -> str:
+        """The stable manifest key for this batch's stats."""
+        return f"task{self.task.task_id:04d}.{self.target}"
+
+
+def enumerate_tasks(spec: DatasetSpec) -> tuple[Task, ...]:
+    """All tasks in canonical order: networks in spec order, then each
+    pool's subgraphs in registry order."""
+    tasks: list[Task] = []
+    for net in spec.networks:
+        for sg in network_pool(net).subgraphs:
+            tasks.append(Task(task_id=len(tasks), network=net, subgraph=sg))
+    return tuple(tasks)
+
+
+def plan_batches(spec: DatasetSpec) -> tuple[BatchPlan, ...]:
+    """The full deterministic row plan — no generation work performed."""
+    per_target = {t: spec.platform_ids_for_target(t) for t in TARGETS}
+    plans: list[BatchPlan] = []
+    row = 0
+    for task in enumerate_tasks(spec):
+        for target in TARGETS:
+            platform_ids = per_target[target]
+            if not platform_ids:
+                continue
+            plan = BatchPlan(
+                task=task,
+                target=target,
+                platform_ids=platform_ids,
+                row_start=row,
+                n_candidates=spec.candidates_per_task,
+            )
+            plans.append(plan)
+            row += plan.n_rows
+    return tuple(plans)
+
+
+def total_records(spec: DatasetSpec) -> int:
+    """Record count of the finished store (last plan's row_end)."""
+    plans = plan_batches(spec)
+    return plans[-1].row_end if plans else 0
+
+
+def candidate_stream(spec: DatasetSpec, task: Task, target: str) -> str:
+    """The rng stream naming one batch's candidate sampling.
+
+    Keyed on (spec name, task id, target) only — independent of every
+    other batch, which is what lets a resume regenerate any batch
+    without replaying the ones before it.
+    """
+    return f"dataset.{spec.name}.task{task.task_id:04d}.{target}"
+
+
+def fit_stream(spec: DatasetSpec, task: Task, target: str) -> str:
+    """The rng stream naming one task's featurizer-calibration sample."""
+    return f"dataset.{spec.name}.fit.task{task.task_id:04d}.{target}"
+
+
+__all__ = [
+    "BatchPlan",
+    "DatasetSpec",
+    "Task",
+    "candidate_stream",
+    "enumerate_tasks",
+    "fit_stream",
+    "plan_batches",
+    "total_records",
+]

@@ -10,7 +10,7 @@ finite-difference gradient checks (``make gradcheck``).
 
 from repro.nn import functional
 from repro.nn.attention import MultiHeadSelfAttention
-from repro.nn.data import BatchLoader
+from repro.nn.data import ArraySource, BatchLoader, RecordSource
 from repro.nn.functional import MaskBiasCache, ScratchArena
 from repro.nn.gradcheck import assert_gradients_match, max_relative_error, numerical_gradient
 from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU, ResidualBlock
@@ -21,6 +21,7 @@ from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, softmax
 
 __all__ = [
     "Adam",
+    "ArraySource",
     "BatchLoader",
     "CosineLR",
     "Dropout",
@@ -33,6 +34,7 @@ __all__ = [
     "MultiHeadSelfAttention",
     "Optimizer",
     "Parameter",
+    "RecordSource",
     "ReLU",
     "ResidualBlock",
     "SGD",

@@ -1,34 +1,48 @@
-"""Batched, seeded iteration over extractor output.
+"""Batched, seeded iteration over extractor output or lazy record sources.
 
-:class:`BatchLoader` wraps the ``(X, mask)`` pair that
-``TLPFeaturizer.transform`` produces (plus optional labels) and yields
-minibatches.  Shuffling draws each epoch's permutation from one named
-``repro.utils.rng`` stream fixed at construction, so a training run is
-a pure function of the stream name and the epoch count — the
-bit-reproducibility the smoke-training tests pin.
+:class:`BatchLoader` yields minibatches either from in-memory arrays (the
+``(X, mask)`` pair ``TLPFeaturizer.transform`` produces, plus optional
+labels) or from any *lazily-indexed source* — an object exposing
+``__len__`` and ``__getitem__(indices) -> tuple[np.ndarray, ...]`` — such
+as ``repro.dataset.ShardReader`` over memory-mapped shards, so an epoch
+over a multi-gigabyte store never materializes the store.
+
+Shuffling draws each epoch's permutation from one named
+``repro.utils.rng`` stream fixed at construction, so a training run is a
+pure function of the stream name and the epoch count — and the epoch
+*order* depends only on the source length, not on how the source is
+backed: array-backed and shard-backed loaders with the same stream name
+visit records in bit-identical order (the reproducibility the
+smoke-training and dataset tests pin).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.utils.rng import stream
 
 
-class BatchLoader:
-    """Minibatch iterator over ``(X, mask[, labels])`` arrays."""
+@runtime_checkable
+class RecordSource(Protocol):
+    """What :class:`BatchLoader` needs from a lazy source: a length and
+    batched fancy indexing returning a tuple of per-batch arrays."""
+
+    def __len__(self) -> int: ...
+
+    def __getitem__(self, indices: np.ndarray) -> tuple[np.ndarray, ...]: ...
+
+
+class ArraySource:
+    """In-memory ``(X, mask[, labels])`` arrays as a :class:`RecordSource`."""
 
     def __init__(
         self,
         X: np.ndarray,
         mask: np.ndarray,
         labels: np.ndarray | None = None,
-        batch_size: int = 32,
-        shuffle: bool = True,
-        stream_name: str = "nn.data.loader",
-        drop_last: bool = False,
     ):
         X = np.asarray(X, dtype=np.float32)
         mask = np.asarray(mask, dtype=np.float32)
@@ -38,28 +52,76 @@ class BatchLoader:
             labels = np.asarray(labels, dtype=np.float32).reshape(-1)
             if labels.shape[0] != X.shape[0]:
                 raise ValueError(f"X has {X.shape[0]} rows but labels has {labels.shape[0]}")
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.X = X
         self.mask = mask
         self.labels = labels
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    def __getitem__(self, indices: np.ndarray) -> tuple[np.ndarray, ...]:
+        if self.labels is None:
+            return self.X[indices], self.mask[indices]
+        return self.X[indices], self.mask[indices], self.labels[indices]
+
+
+class BatchLoader:
+    """Minibatch iterator over arrays or a lazily-indexed record source.
+
+    Two construction forms::
+
+        BatchLoader(X, mask[, labels], batch_size=...)   # in-memory arrays
+        BatchLoader(source, batch_size=...)              # any RecordSource
+
+    The second form never touches record storage until iteration, and
+    then only one batch at a time — ``ShardReader`` memory-maps stay
+    on disk.
+    """
+
+    def __init__(
+        self,
+        source: "RecordSource | np.ndarray",
+        mask: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        stream_name: str = "nn.data.loader",
+        drop_last: bool = False,
+    ):
+        if mask is not None or isinstance(source, np.ndarray):
+            if mask is None:
+                raise ValueError("array-backed BatchLoader needs an explicit mask")
+            source = ArraySource(source, mask, labels)
+        elif labels is not None:
+            raise ValueError("labels are part of the source when a RecordSource is given")
+        if not isinstance(source, RecordSource):
+            raise TypeError(
+                f"source must expose __len__ and __getitem__, got {type(source).__name__}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.source = source
+        # Back-compat views for array-backed loaders (None for lazy sources).
+        self.X = source.X if isinstance(source, ArraySource) else None
+        self.mask = source.mask if isinstance(source, ArraySource) else None
+        self.labels = source.labels if isinstance(source, ArraySource) else None
         self.batch_size = int(batch_size)
         self.shuffle = bool(shuffle)
         self.drop_last = bool(drop_last)
         self._rng = stream(stream_name)
 
     def __len__(self) -> int:
-        n = self.X.shape[0]
+        n = len(self.source)
         if self.drop_last:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
-        n = self.X.shape[0]
+        n = len(self.source)
         if self.shuffle:
             # One permutation per epoch, drawn from the loader's stream:
             # epoch k of a fresh loader with the same stream name sees the
-            # same order.
+            # same order — whatever backs the source.
             indices = self._rng.permutation(n)
         else:
             indices = np.arange(n)
@@ -68,11 +130,7 @@ class BatchLoader:
         # separate short-batch guard to fall out of sync with it.
         for b in range(len(self)):
             start = b * self.batch_size
-            batch = indices[start : start + self.batch_size]
-            if self.labels is None:
-                yield self.X[batch], self.mask[batch]
-            else:
-                yield self.X[batch], self.mask[batch], self.labels[batch]
+            yield self.source[indices[start : start + self.batch_size]]
 
 
-__all__ = ["BatchLoader"]
+__all__ = ["ArraySource", "BatchLoader", "RecordSource"]

@@ -11,6 +11,12 @@ verifier in ``repro.analysis`` fail-closed.
 from __future__ import annotations
 
 from repro.tensorir.loops import ANNOTATION_KINDS, Loop, LoopKind, LoopNest
+from repro.tensorir.networks import (
+    NETWORK_POOLS,
+    NetworkPool,
+    network_names,
+    network_pool,
+)
 from repro.tensorir.primitives import (
     ANNOTATIONS,
     PRAGMAS,
@@ -34,6 +40,8 @@ __all__ = [
     "ANNOTATIONS",
     "ANNOTATION_KINDS",
     "Axis",
+    "NETWORK_POOLS",
+    "NetworkPool",
     "PAD_ALLOWANCE",
     "Loop",
     "LoopKind",
@@ -51,6 +59,8 @@ __all__ = [
     "divisors",
     "elementwise_subgraph",
     "matmul_subgraph",
+    "network_names",
+    "network_pool",
     "reduce_subgraph",
     "sample_schedule",
     "sample_subgraph_pool",

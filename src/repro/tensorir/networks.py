@@ -1,0 +1,164 @@
+"""Real-network subgraph pools — the dataset factory's task universe.
+
+TenSet (and TLP's training corpus on top of it) is organized around
+*networks*: each network contributes a pool of distinct subgraph tasks,
+and evaluation holds out whole networks so a model is always scored on
+programs from computation graphs it never saw (§5.1, "network-level"
+splits).  This module provides that structure for the simulated stack:
+stylized ResNet / MobileNet / BERT task pools built from the
+``repro.tensorir.subgraph`` constructors, registered by name.
+
+The shapes are stylized from the real architectures (stage-wise conv
+geometries, pointwise/depthwise channel splits, transformer projection
+and FFN matmuls) — what matters downstream is that pools are *disjoint
+in character*: conv-heavy vs. pointwise-heavy vs. matmul-heavy, so a
+network-level holdout actually shifts the program distribution the way
+Figure 6 / Table 5 require.
+
+``NETWORK_POOLS`` maps pool name -> :class:`NetworkPool`; pools are
+frozen and task order inside a pool is part of the dataset plan, so
+**append-only**: reordering or renaming entries silently changes every
+``(manifest, seed)``-addressed dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tensorir.subgraph import (
+    Subgraph,
+    conv2d_subgraph,
+    elementwise_subgraph,
+    matmul_subgraph,
+    reduce_subgraph,
+)
+
+
+@dataclass(frozen=True)
+class NetworkPool:
+    """One network's subgraph tasks, in canonical (plan) order."""
+
+    name: str
+    family: str  # "resnet" | "mobilenet" | "bert"
+    subgraphs: tuple[Subgraph, ...]
+
+    def __post_init__(self) -> None:
+        if not self.subgraphs:
+            raise ValueError(f"network pool {self.name!r} has no subgraphs")
+        names = [sg.name for sg in self.subgraphs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"network pool {self.name!r} repeats subgraph names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.subgraphs)
+
+
+def _resnet50_pool() -> NetworkPool:
+    """Stage-wise 3x3/1x1 conv geometries + the classifier matmul."""
+    return NetworkPool(
+        name="resnet50",
+        family="resnet",
+        subgraphs=(
+            conv2d_subgraph(56, 56, 64, 64, 3, 3),      # stage-1 3x3
+            conv2d_subgraph(56, 56, 256, 64, 1, 1),     # stage-1 expand
+            conv2d_subgraph(28, 28, 128, 128, 3, 3),    # stage-2 3x3
+            conv2d_subgraph(14, 14, 256, 256, 3, 3),    # stage-3 3x3
+            conv2d_subgraph(7, 7, 512, 512, 3, 3),      # stage-4 3x3
+            conv2d_subgraph(7, 7, 2048, 512, 1, 1),     # stage-4 expand
+            matmul_subgraph(1, 1000, 2048),             # classifier fc
+        ),
+    )
+
+
+def _resnet18_pool() -> NetworkPool:
+    """The thinner basic-block variant: fewer channels, no 1x1 expands."""
+    return NetworkPool(
+        name="resnet18",
+        family="resnet",
+        subgraphs=(
+            conv2d_subgraph(56, 56, 64, 64, 3, 3),
+            conv2d_subgraph(28, 28, 128, 64, 3, 3),     # stride-2 entry
+            conv2d_subgraph(28, 28, 128, 128, 3, 3),
+            conv2d_subgraph(14, 14, 256, 128, 3, 3),
+            conv2d_subgraph(7, 7, 512, 256, 3, 3),
+            matmul_subgraph(1, 1000, 512),
+        ),
+    )
+
+
+def _mobilenet_v2_pool() -> NetworkPool:
+    """Pointwise-dominated inverted residuals + cheap elementwise glue."""
+    return NetworkPool(
+        name="mobilenet_v2",
+        family="mobilenet",
+        subgraphs=(
+            conv2d_subgraph(112, 112, 96, 16, 1, 1),    # expand 1x1
+            conv2d_subgraph(56, 56, 24, 96, 1, 1),      # project 1x1
+            conv2d_subgraph(28, 28, 32, 144, 1, 1),
+            conv2d_subgraph(14, 14, 160, 576, 1, 1),
+            conv2d_subgraph(14, 14, 96, 96, 3, 3),      # depthwise stand-in
+            elementwise_subgraph(112 * 112 * 16),       # residual add / relu6
+        ),
+    )
+
+
+def _bert_base_pool() -> NetworkPool:
+    """Transformer block at hidden 768, sequence length 128."""
+    return NetworkPool(
+        name="bert_base",
+        family="bert",
+        subgraphs=(
+            matmul_subgraph(128, 768, 768),             # q/k/v/out projection
+            matmul_subgraph(128, 3072, 768),            # FFN up
+            matmul_subgraph(128, 768, 3072),            # FFN down
+            matmul_subgraph(128, 128, 64),              # per-head attention scores
+            reduce_subgraph(128, 128),                  # softmax denominator
+            elementwise_subgraph(128 * 768),            # gelu / residual add
+        ),
+    )
+
+
+def _bert_tiny_pool() -> NetworkPool:
+    """The 2-layer/hidden-128 distillation target — small, distinct shapes."""
+    return NetworkPool(
+        name="bert_tiny",
+        family="bert",
+        subgraphs=(
+            matmul_subgraph(128, 128, 128),
+            matmul_subgraph(128, 512, 128),             # FFN up
+            matmul_subgraph(128, 128, 512),             # FFN down
+            reduce_subgraph(128, 64),                   # per-head softmax
+            elementwise_subgraph(128 * 128),
+        ),
+    )
+
+
+#: Registry, in canonical order.  Append-only (see module docstring).
+NETWORK_POOLS: dict[str, NetworkPool] = {
+    pool.name: pool
+    for pool in (
+        _resnet50_pool(),
+        _resnet18_pool(),
+        _mobilenet_v2_pool(),
+        _bert_base_pool(),
+        _bert_tiny_pool(),
+    )
+}
+
+
+def network_names() -> tuple[str, ...]:
+    """All registered pool names, in canonical registry order."""
+    return tuple(NETWORK_POOLS)
+
+
+def network_pool(name: str) -> NetworkPool:
+    """Look up one pool; raises ``KeyError`` with the known names."""
+    try:
+        return NETWORK_POOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network pool {name!r}; known pools: {', '.join(NETWORK_POOLS)}"
+        ) from None
+
+
+__all__ = ["NETWORK_POOLS", "NetworkPool", "network_names", "network_pool"]

@@ -1,0 +1,121 @@
+"""DatasetSpec validation and the deterministic row plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import DatasetSpec, enumerate_tasks, plan_batches, total_records
+from repro.dataset.spec import candidate_stream, fit_stream
+from repro.simhw import PLATFORMS
+from repro.tensorir import network_pool
+
+ALL = tuple(PLATFORMS)
+
+
+def spec(**kw) -> DatasetSpec:
+    base = dict(
+        name="t",
+        networks=("bert_tiny", "resnet18"),
+        platforms=("platinum-8272", "graviton2", "t4"),
+        candidates_per_task=8,
+        shard_size=32,
+    )
+    base.update(kw)
+    return DatasetSpec(**base)
+
+
+# -- validation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kw, match",
+    [
+        (dict(name="bad name"), "name"),
+        (dict(networks=()), "at least one network"),
+        (dict(networks=("bert_tiny", "bert_tiny")), "duplicate networks"),
+        (dict(platforms=()), "at least one platform"),
+        (dict(platforms=("platinum-8272", "platinum-8272")), "duplicate platforms"),
+        (dict(platforms=("tpu-v4",)), "unknown platform"),
+        (dict(holdout_networks=("resnet50",)), "holdout"),
+        (dict(candidates_per_task=0), "candidates_per_task"),
+        (dict(shard_size=0), "shard_size"),
+    ],
+)
+def test_spec_validation(kw, match):
+    with pytest.raises((ValueError, KeyError), match=match):
+        spec(**kw)
+
+
+def test_spec_rejects_unknown_network():
+    with pytest.raises(KeyError, match="unknown network pool"):
+        spec(networks=("vgg19",))
+
+
+def test_spec_round_trips_through_dict():
+    s = spec(holdout_networks=("resnet18",), root_seed=7)
+    assert DatasetSpec.from_dict(s.to_dict()) == s
+
+
+def test_split_of():
+    s = spec(holdout_networks=("resnet18",))
+    assert s.split_of("resnet18") == "holdout"
+    assert s.split_of("bert_tiny") == "train"
+    with pytest.raises(ValueError):
+        s.split_of("resnet50")
+
+
+# -- plan ---------------------------------------------------------------
+
+
+def test_tasks_enumerate_in_canonical_order():
+    s = spec()
+    tasks = enumerate_tasks(s)
+    assert [t.task_id for t in tasks] == list(range(len(tasks)))
+    n_bert = len(network_pool("bert_tiny"))
+    assert all(t.network == "bert_tiny" for t in tasks[:n_bert])
+    assert all(t.network == "resnet18" for t in tasks[n_bert:])
+
+
+def test_plan_rows_are_contiguous_and_partition_the_store():
+    s = spec()
+    plans = plan_batches(s)
+    row = 0
+    for plan in plans:
+        assert plan.row_start == row
+        assert plan.n_rows == s.candidates_per_task * len(plan.platform_ids)
+        row = plan.row_end
+    assert row == total_records(s)
+    # 2 CPU + 1 GPU platform: every task gets one batch per target.
+    n_tasks = len(enumerate_tasks(s))
+    assert len(plans) == 2 * n_tasks
+    assert row == n_tasks * s.candidates_per_task * 3
+
+
+def test_plan_skips_targets_without_platforms():
+    cpu_only = spec(platforms=("platinum-8272", "epyc-7452"))
+    assert all(p.target == "cpu" for p in plan_batches(cpu_only))
+    gpu_only = spec(platforms=("t4", "k80"))
+    assert all(p.target == "gpu" for p in plan_batches(gpu_only))
+
+
+def test_platform_ids_preserve_spec_order():
+    s = spec(platforms=("t4", "platinum-8272", "graviton2"))
+    assert s.platform_ids_for_target("gpu") == (0,)
+    assert s.platform_ids_for_target("cpu") == (1, 2)
+
+
+def test_stream_names_are_batch_private():
+    s = spec()
+    tasks = enumerate_tasks(s)
+    names = {
+        candidate_stream(s, t, target)
+        for t in tasks
+        for target in ("cpu", "gpu")
+    } | {fit_stream(s, t, target) for t in tasks for target in ("cpu", "gpu")}
+    assert len(names) == 4 * len(tasks)  # all distinct
+
+
+def test_all_platform_spec_is_valid():
+    s = spec(platforms=ALL)
+    assert len(s.platform_ids_for_target("cpu")) == 5
+    assert len(s.platform_ids_for_target("gpu")) == 2

@@ -184,3 +184,105 @@ def test_row_layout_leads_with_one_hot_kind():
         one_hot = X[0, j, :N_KINDS]
         assert one_hot.sum() == 1.0
         assert one_hot[abstract(schedule.primitives[j]).kind_index] == 1.0
+
+
+# -- buffer donation (transform_into) -----------------------------------
+
+
+def _buffers(cfg, n):
+    X = np.full((n, cfg.seq_len, cfg.emb), np.nan, dtype=np.float32)
+    mask = np.full((n, cfg.seq_len), np.nan, dtype=np.float32)
+    return X, mask
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=batches)
+def test_transform_into_is_bit_identical_to_transform(batch):
+    fitted = _FITTED[TABLE4_CROPPED]
+    X_ref, mask_ref = fitted.transform(batch)
+    X_buf, mask_buf = _buffers(TABLE4_CROPPED, len(batch) + 3)  # oversized ok
+    X, mask = fitted.transform_into(batch, X_buf, mask_buf)
+    assert X.shape == X_ref.shape and mask.shape == mask_ref.shape
+    assert X.tobytes() == X_ref.tobytes()
+    assert mask.tobytes() == mask_ref.tobytes()
+    # The returned views alias the donated buffers — no new tensors.
+    assert X.base is X_buf and mask.base is mask_buf
+
+
+def test_transform_into_steady_state_allocates_zero_rows():
+    """The zero-alloc pin: after a warm-up pass every primitive row is
+    memoized, so a second pass over the same buffers materializes no new
+    row arrays (``rows_encoded`` frozen) and grows no caches."""
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=0).fit(_CORPUS)
+    batch = _CORPUS[:12]
+    X_buf, mask_buf = _buffers(TABLE4_CROPPED, len(batch))
+    featurizer.transform_into(batch, X_buf, mask_buf)
+    warm = featurizer.cache_info()
+    first = (X_buf.tobytes(), mask_buf.tobytes())
+    featurizer.transform_into(batch, X_buf, mask_buf)
+    steady = featurizer.cache_info()
+    assert steady["rows_encoded"] == warm["rows_encoded"]
+    assert steady["row_memo_size"] == warm["row_memo_size"]
+    assert (X_buf.tobytes(), mask_buf.tobytes()) == first
+    # The LRU was never consulted: buffer donation bypasses it entirely.
+    assert steady["hits"] == 0 and steady["misses"] == 0
+
+
+def test_transform_into_overwrites_stale_buffer_contents():
+    fitted = _FITTED[TABLE4_CROPPED]
+    long_batch = sorted(_CORPUS, key=lambda s: -len(s.primitives))[:4]
+    short_batch = sorted(_CORPUS, key=lambda s: len(s.primitives))[:4]
+    X_buf, mask_buf = _buffers(TABLE4_CROPPED, 4)
+    fitted.transform_into(long_batch, X_buf, mask_buf)
+    fitted.transform_into(short_batch, X_buf, mask_buf)
+    X_ref, mask_ref = fitted.transform(short_batch)
+    assert X_buf.tobytes() == X_ref.tobytes()
+    assert mask_buf.tobytes() == mask_ref.tobytes()
+
+
+def test_transform_into_validates_buffers():
+    fitted = _FITTED[TABLE4_CROPPED]
+    batch = _CORPUS[:4]
+    good_X, good_mask = _buffers(TABLE4_CROPPED, 4)
+    with pytest.raises(ValueError, match="buffer"):
+        fitted.transform_into(batch, good_X[:2], good_mask)  # too few rows
+    bad_X, _ = _buffers(TABLE4_UNCROPPED, 4)
+    with pytest.raises(ValueError, match="buffer"):
+        fitted.transform_into(batch, bad_X, good_mask)  # wrong geometry
+    with pytest.raises(ValueError, match="float32"):
+        fitted.transform_into(batch, good_X.astype(np.float64), good_mask)
+    unfitted = TLPFeaturizer(TABLE4_CROPPED)
+    with pytest.raises(RuntimeError):
+        unfitted.transform_into(batch, good_X, good_mask)
+
+
+def test_cache_clear_resets_counters_and_caches():
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=32).fit(_CORPUS)
+    featurizer.transform(_CORPUS[:8])
+    featurizer.transform(_CORPUS[:8])
+    info = featurizer.cache_info()
+    assert info["rows_encoded"] > 0 and info["row_memo_size"] > 0
+    assert info["hits"] > 0 and info["size"] > 0
+    featurizer.cache_clear()
+    cleared = featurizer.cache_info()
+    assert cleared == {
+        "hits": 0,
+        "misses": 0,
+        "size": 0,
+        "capacity": 32,
+        "row_memo_size": 0,
+        "rows_encoded": 0,
+    }
+    # Still fitted and still correct after the clear.
+    X_a, _ = featurizer.transform(_CORPUS[:8])
+    X_b, _ = _FITTED[TABLE4_CROPPED].transform(_CORPUS[:8])
+    assert X_a.tobytes() == X_b.tobytes()
+
+
+def test_refit_clears_stale_state():
+    featurizer = TLPFeaturizer(TABLE4_CROPPED, cache_size=32).fit(_CORPUS)
+    featurizer.transform(_CORPUS[:8])
+    featurizer.fit(_CORPUS)
+    info = featurizer.cache_info()
+    assert info["size"] == 0 and info["row_memo_size"] == 0
+    assert info["rows_encoded"] == 0

@@ -1,0 +1,50 @@
+"""Network subgraph pools: registry integrity and pool structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tensorir import NETWORK_POOLS, NetworkPool, network_names, network_pool
+from repro.tensorir.subgraph import Axis, Subgraph
+
+
+def test_registry_names_match_pools():
+    assert network_names() == tuple(NETWORK_POOLS)
+    for name in network_names():
+        pool = network_pool(name)
+        assert pool.name == name
+        assert len(pool) == len(pool.subgraphs) >= 5
+
+
+def test_unknown_pool_raises_with_known_names():
+    with pytest.raises(KeyError, match="resnet50"):
+        network_pool("alexnet")
+
+
+def test_pools_have_distinct_subgraph_names_within():
+    for name in network_names():
+        pool = network_pool(name)
+        names = [sg.name for sg in pool.subgraphs]
+        assert len(set(names)) == len(names)
+
+
+def test_every_family_is_represented():
+    families = {network_pool(n).family for n in network_names()}
+    assert families == {"resnet", "mobilenet", "bert"}
+
+
+def test_families_differ_in_program_character():
+    """The holdout shift is real: resnet pools are conv-dominated, bert
+    pools matmul-dominated — different axis-count distributions."""
+    def mean_axes(pool: NetworkPool) -> float:
+        return sum(len(sg.axes) for sg in pool.subgraphs) / len(pool)
+
+    assert mean_axes(network_pool("resnet50")) > mean_axes(network_pool("bert_base"))
+
+
+def test_pool_rejects_duplicate_subgraphs_and_emptiness():
+    sg = Subgraph("dup", (Axis("i", 8),))
+    with pytest.raises(ValueError, match="repeats"):
+        NetworkPool(name="bad", family="resnet", subgraphs=(sg, sg))
+    with pytest.raises(ValueError, match="no subgraphs"):
+        NetworkPool(name="empty", family="bert", subgraphs=())
