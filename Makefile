@@ -2,7 +2,7 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: test lint lint-json gradcheck bench bench-save smoke-infer smoke-simhw smoke-dataset check
+.PHONY: test lint lint-json gradcheck bench bench-save smoke-infer smoke-simhw smoke-dataset smoke-train check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,7 @@ bench-save:
 	$(PYTHON) benchmarks/bench_save_simhw.py
 	$(PYTHON) benchmarks/bench_save_absint.py
 	$(PYTHON) benchmarks/bench_save_dataset.py
+	$(PYTHON) benchmarks/bench_save_training.py
 
 # ~2 s end-to-end serving smoke: propose -> verify -> featurize ->
 # predict -> top-k, asserting predict bit-identical to the taped forward.
@@ -43,4 +44,11 @@ smoke-simhw:
 smoke-dataset:
 	$(PYTHON) -c "import importlib; raise SystemExit(importlib.import_module('repro.dataset.pipeline').main([]))"
 
-check: lint test gradcheck smoke-infer smoke-simhw smoke-dataset
+# Offline-trainer smoke (~15 s): build the tiny 5-network store, train the
+# small TLP model twice from scratch, asserting a bit-identical run digest,
+# decreasing loss, and held-out top-5 above the exact random baseline
+# (also runnable as `python -m repro.core.trainer`).
+smoke-train:
+	$(PYTHON) -c "import importlib; raise SystemExit(importlib.import_module('repro.core.trainer').main())"
+
+check: lint test gradcheck smoke-infer smoke-simhw smoke-dataset smoke-train

@@ -1,0 +1,109 @@
+"""Measure training throughput and write BENCH_training.json.
+
+``make bench-save`` runs this after the dataset benchmark: build a
+mid-scale single-platform store (5 network pools, 96 candidates/task),
+train the smoke-train model geometry for one warm-up epoch plus three
+timed epochs, and record steady-state ``train_step`` throughput in
+records/sec against the floor.  The floor is ~40% of the measured
+number on the reference container — it exists to catch training-loop
+regressions (a lost arena pool, a stray per-batch copy of the wide X
+block), not to pin the headline.
+
+Everything is stream-seeded, so the final-weights digest doubles as a
+cross-machine determinism probe for the whole train loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+OUT_PATH = REPO_ROOT / "BENCH_training.json"
+
+NETWORKS = ("bert_tiny", "resnet18", "resnet50", "bert_base", "mobilenet_v2")
+CANDIDATES = 96
+EPOCHS = 4  # 1 warm-up + 3 timed
+FLOOR_RECORDS_PER_SEC = 1500.0
+
+
+def main() -> int:
+    from repro.core.tlp_model import TLPModel, TLPModelConfig
+    from repro.core.trainer import TrainConfig, Trainer, _run_digest
+    from repro.dataset.pipeline import build_dataset
+    from repro.dataset.reader import ShardReader
+    from repro.dataset.spec import DatasetSpec
+
+    spec = DatasetSpec(
+        name="bench-training",
+        networks=NETWORKS,
+        platforms=("platinum-8272",),
+        candidates_per_task=CANDIDATES,
+        shard_size=8192,
+        holdout_networks=("mobilenet_v2",),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-training-") as tmp:
+        t0 = time.perf_counter()
+        manifest = build_dataset(spec, Path(tmp) / "store")
+        build_s = time.perf_counter() - t0
+        print(f"store: {manifest.total_records} records in {build_s:.1f}s")
+
+        reader = ShardReader(Path(tmp) / "store")
+        emb = reader.manifest.schema.columns()["X"][1][-1]
+        model = TLPModel(TLPModelConfig(emb=emb, hidden=48, n_heads=4,
+                                        n_res_blocks=2))
+        trainer = Trainer(model, reader, TrainConfig(
+            epochs=EPOCHS, batch_size=64, segment_size=16, lr=1e-3,
+        ))
+        rows_per_epoch = int(trainer.train_indices.shape[0])
+
+        trainer.fit(until=1)  # warm-up: arena buffers, mmap pages
+        t0 = time.perf_counter()
+        history = trainer.fit()
+        train_s = time.perf_counter() - t0
+        records_per_sec = rows_per_epoch * (EPOCHS - 1) / train_s
+        report_eval = trainer.evaluate()
+
+    losses = [row["loss"] for row in history]
+    assert losses[-1] < losses[0], f"loss did not decrease: {losses}"
+    assert records_per_sec >= FLOOR_RECORDS_PER_SEC, (
+        f"train_step throughput {records_per_sec:.0f}/s under the "
+        f"{FLOOR_RECORDS_PER_SEC}/s floor"
+    )
+
+    report = {
+        "benchmark": "training",
+        "networks": len(NETWORKS),
+        "candidates_per_task": CANDIDATES,
+        "store_records": manifest.total_records,
+        "train_rows_per_epoch": rows_per_epoch,
+        "batch_size": 64,
+        "segment_size": 16,
+        "model": {"hidden": 48, "n_heads": 4, "n_res_blocks": 2},
+        "timed_epochs": EPOCHS - 1,
+        "seconds": round(train_s, 3),
+        "records_per_sec": round(records_per_sec, 1),
+        "floor_records_per_sec": FLOOR_RECORDS_PER_SEC,
+        "store_build_seconds": round(build_s, 3),
+        "final_loss": round(losses[-1], 6),
+        "holdout_top_k": {str(k): round(v, 4)
+                          for k, v in report_eval["top_k"].items()},
+        "random_top_k": {str(k): round(v, 4)
+                         for k, v in report_eval["random_top_k"].items()},
+        "run_digest_sha256": _run_digest(model, history),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    print(f"  records_per_sec: {report['records_per_sec']} "
+          f"(floor {FLOOR_RECORDS_PER_SEC})")
+    print(f"  holdout top-k: {report['holdout_top_k']} "
+          f"vs random {report['random_top_k']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ _REQUIRES = {
                            "repro.core.scoring"),
     "bench_absint.py": ("repro.analysis.absint", "repro.core.scoring",
                         "repro.simhw", "repro.nn"),
+    "bench_training.py": ("repro.core.trainer", "repro.dataset", "repro.nn"),
     "bench_tables.py": ("repro.experiments",),
     "bench_figures.py": ("repro.experiments",),
 }

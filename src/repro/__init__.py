@@ -9,8 +9,10 @@ Currently present:
 * ``repro.analysis`` — static verification of primitive sequences
   (no schedule application, no latency simulation) plus a repo self-lint.
 * ``repro.core``     — TLP feature extraction: batch-first featurizer over
-  primitive sequences (Fig. 4/5) with Table 4 crop/pad, plus the Fig. 7
-  attention cost model.
+  primitive sequences (Fig. 4/5) with Table 4 crop/pad, the Fig. 7
+  attention cost model and its MTL multi-head variant, the offline
+  lambda-rank trainer with exact checkpoint/resume, and the Table 6/7
+  top-k evaluation metrics.
 * ``repro.nn``       — from-scratch numpy autograd + NN substrate (layers,
   attention, losses, optimizers, gradient checking).
 * ``repro.simhw``    — deterministic simulated-hardware latency substrate:
@@ -33,7 +35,15 @@ from repro.analysis import (
     verify_schedule,
     verify_sequence,
 )
-from repro.core import PostprocessConfig, TLPFeaturizer, TLPModel, TLPModelConfig
+from repro.core import (
+    MTLTLPModel,
+    PostprocessConfig,
+    TLPFeaturizer,
+    TLPModel,
+    TLPModelConfig,
+    TrainConfig,
+    Trainer,
+)
 from repro.dataset import DatasetSpec, Manifest, ShardReader, build_dataset
 from repro.simhw import (
     ALL_PLATFORMS,
@@ -71,6 +81,7 @@ __all__ = [
     "Loop",
     "LoopKind",
     "LoopNest",
+    "MTLTLPModel",
     "Manifest",
     "Platform",
     "PostprocessConfig",
@@ -87,6 +98,8 @@ __all__ = [
     "TLPFeaturizer",
     "TLPModel",
     "TLPModelConfig",
+    "TrainConfig",
+    "Trainer",
     "build_dataset",
     "get_platform",
     "labels_from_latencies",

@@ -4,8 +4,7 @@ The paper's core mechanism — and the first slice of the ``core``
 subsystem (DESIGN.md §3) to land: feature extraction from primitive
 sequences (Fig. 4/5) with the Table 4 crop/pad geometry — plus the
 first slice of the TLP cost model itself (Fig. 7, on the ``repro.nn``
-autograd substrate).  MTL heads, trainers and metrics arrive in later
-PRs.
+autograd substrate), now joined by the offline training stack.
 
 * ``abstract_primitive`` — canonical per-kind (one-hot ++ char tokens ++
   numerics) layout shared by every extractor implementation.
@@ -16,6 +15,12 @@ PRs.
 * ``postprocess`` — Table 4 ``seq_len x emb`` crop/pad.
 * ``tlp_model`` — :class:`TLPModel`: the Fig. 7 attention backbone
   consuming ``TLPFeaturizer.transform`` output directly.
+* ``mtl`` — :class:`MTLTLPModel`: shared trunk + per-platform heads
+  with loss masking (Table 9's cross-hardware transfer).
+* ``trainer`` — :class:`Trainer`: offline lambda-rank training over a
+  shard store with exact checkpoint/resume.
+* ``metrics`` — Table 6/7 top-k best-found latency ratio and its exact
+  random baseline.
 """
 
 from __future__ import annotations
@@ -38,9 +43,16 @@ from repro.core.postprocess import (
 )
 from repro.core.scoring import CandidateScorer, ScoredTopK
 from repro.core.tlp_model import TLPModel, TLPModelConfig
+from repro.core.metrics import (
+    random_top_k_score,
+    random_top_k_scores_grouped,
+    top_k_score,
+    top_k_scores_grouped,
+)
+from repro.core.mtl import MTLTLPModel
+from repro.core.trainer import TrainConfig, Trainer
 
 __all__ = [
-    "CandidateScorer",
     "KIND_INDEX",
     "KIND_ORDER",
     "N_KINDS",
@@ -49,13 +61,21 @@ __all__ = [
     "TABLE4_UNCROPPED",
     "UNK_ID",
     "AbstractPrimitive",
+    "CandidateScorer",
+    "MTLTLPModel",
     "PostprocessConfig",
     "ScoredTopK",
     "TLPFeaturizer",
     "TLPModel",
     "TLPModelConfig",
+    "TrainConfig",
+    "Trainer",
     "abstract",
     "crop_pad",
     "crop_pad_batch",
+    "random_top_k_score",
+    "random_top_k_scores_grouped",
     "reference_transform",
+    "top_k_score",
+    "top_k_scores_grouped",
 ]

@@ -22,7 +22,9 @@ Two execution paths share the weights:
   bit-identical to eval-mode ``forward`` and performs zero large
   allocations in steady state.
 
-The MTL hardware heads and the full training loop land in later PRs.
+:meth:`TLPModel.pool_features` exposes the taped trunk up to the pooled
+``[N, hidden]`` representation; ``repro.core.mtl`` hangs per-platform
+heads off it, and ``repro.core.trainer`` drives both variants.
 """
 
 from __future__ import annotations
@@ -156,7 +158,15 @@ class TLPModel(Module):
                 f"mask shape {mask.shape} does not match features {X.shape[:2]}")
         return mask
 
-    def forward(self, X: np.ndarray | Tensor, mask: np.ndarray) -> Tensor:
+    def pool_features(self, X: np.ndarray | Tensor, mask: np.ndarray) -> Tensor:
+        """The taped backbone up to (and including) the sequence-sum pool.
+
+        Returns the ``[N, hidden]`` pooled representation the score head
+        consumes.  Split out from :meth:`forward` so ``repro.core.mtl``
+        can hang multiple per-platform heads off one shared trunk; the
+        op sequence is exactly the old forward body, so single-head
+        scores stay bit-identical.
+        """
         x = as_tensor(X)
         mask = self._check_geometry(x.data, mask)
         n, length, _ = x.shape
@@ -168,8 +178,11 @@ class TLPModel(Module):
             h = block(h)
         # Padding rows carry attention/bias residue; zero them so the
         # sequence sum only aggregates real primitive rows.
-        pooled = (h * mask.reshape(n, length, 1)).sum(axis=1)
-        return self.head(pooled).reshape(n)
+        return (h * mask.reshape(n, length, 1)).sum(axis=1)
+
+    def forward(self, X: np.ndarray | Tensor, mask: np.ndarray) -> Tensor:
+        pooled = self.pool_features(X, mask)
+        return self.head(pooled).reshape(pooled.shape[0])
 
     def predict(self, X: np.ndarray, mask: np.ndarray,
                 max_chunk: int = 128) -> np.ndarray:

@@ -64,6 +64,9 @@ class ShardReader:
             [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
         ) if counts else np.zeros(1, dtype=np.int64)
         self._maps: dict[tuple[int, str], np.ndarray] = {}
+        #: Concatenated narrow provenance columns, built once on demand —
+        #: repeated split_indices()/task_ids() calls stay O(1) in I/O.
+        self._narrow: dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return int(self.offsets[-1])
@@ -83,7 +86,11 @@ class ShardReader:
     # -- gathering -------------------------------------------------------
 
     def gather(
-        self, indices, columns: "Sequence[str] | None" = None
+        self,
+        indices,
+        columns: "Sequence[str] | None" = None,
+        *,
+        out: "Sequence[np.ndarray] | None" = None,
     ) -> tuple[np.ndarray, ...]:
         """Copy the requested rows for each column, preserving order.
 
@@ -91,6 +98,11 @@ class ShardReader:
         per call; the output order is exactly ``indices`` order, which
         is what keeps ``BatchLoader`` epochs bit-reproducible no matter
         how records landed in shards.
+
+        ``out`` supplies one preallocated destination per column (exact
+        shape and dtype required) so a hot training loop can gather into
+        ``ScratchArena``-pooled buffers instead of allocating per batch;
+        the filled buffers are returned.
         """
         names = self.columns if columns is None else tuple(columns)
         indices = np.asarray(indices)
@@ -101,11 +113,24 @@ class ShardReader:
         if indices.size and (indices.min() < 0 or indices.max() >= n):
             raise IndexError(f"record index out of range for {n} records")
         shard_of = np.searchsorted(self.offsets, indices, side="right") - 1
-        out: list[np.ndarray] = []
         schema_cols = self.manifest.schema.columns()
-        for name in names:
+        out_list: list[np.ndarray] = []
+        if out is not None and len(out) != len(names):
+            raise ValueError(f"out has {len(out)} buffers for {len(names)} columns")
+        for col, name in enumerate(names):
             dtype, trailing = schema_cols[name]
-            out.append(np.empty((indices.shape[0], *trailing), dtype=dtype))
+            shape = (indices.shape[0], *trailing)
+            if out is None:
+                out_list.append(np.empty(shape, dtype=dtype))
+            else:
+                buf = out[col]
+                if buf.shape != shape or buf.dtype != np.dtype(dtype):
+                    raise ValueError(
+                        f"out buffer for {name!r}: got {buf.dtype}{buf.shape}, "
+                        f"need {np.dtype(dtype)}{shape}"
+                    )
+                out_list.append(buf)
+        out = out_list
         for shard in np.unique(shard_of):
             where = np.nonzero(shard_of == shard)[0]
             local = indices[where] - self.offsets[shard]
@@ -124,13 +149,34 @@ class ShardReader:
 
     # -- splits ----------------------------------------------------------
 
+    def _narrow_column(self, name: str) -> np.ndarray:
+        """Memoized concatenation of one narrow per-record column.
+
+        Built once per reader (one load per shard) and cached; splits,
+        grouping and filtering all index into the same array, so
+        repeated ``split_indices`` calls are O(1) in shard I/O.
+        """
+        cached = self._narrow.get(name)
+        if cached is None:
+            dtype, trailing = self.manifest.schema.columns()[name]
+            if trailing:
+                raise ValueError(f"{name!r} is not a narrow per-record column")
+            if not self.n_shards:
+                cached = np.empty(0, dtype=dtype)
+            else:
+                cached = np.concatenate(
+                    [np.asarray(self._column(s, name)) for s in range(self.n_shards)]
+                )
+            self._narrow[name] = cached
+        return cached
+
     def task_ids(self) -> np.ndarray:
-        """Per-record task id (int32 [N]) — concatenated narrow columns."""
-        if not self.n_shards:
-            return np.empty(0, dtype=np.int32)
-        return np.concatenate(
-            [np.asarray(self._column(s, "task_id")) for s in range(self.n_shards)]
-        )
+        """Per-record task id (int32 [N]) — memoized; do not mutate."""
+        return self._narrow_column("task_id")
+
+    def platform_ids(self) -> np.ndarray:
+        """Per-record platform index (int16 [N]) — memoized; do not mutate."""
+        return self._narrow_column("platform_id")
 
     def split_indices(self, split: str) -> np.ndarray:
         """Global record indices of one side of the network-level split."""

@@ -10,11 +10,17 @@ finite-difference gradient checks (``make gradcheck``).
 
 from repro.nn import functional
 from repro.nn.attention import MultiHeadSelfAttention
-from repro.nn.data import ArraySource, BatchLoader, RecordSource
+from repro.nn.data import ArraySource, BatchLoader, GroupedBatchLoader, RecordSource
 from repro.nn.functional import MaskBiasCache, ScratchArena
 from repro.nn.gradcheck import assert_gradients_match, max_relative_error, numerical_gradient
 from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU, ResidualBlock
-from repro.nn.losses import LambdaRankLoss, MSELoss, lambda_rank_loss, mse_loss
+from repro.nn.losses import (
+    LambdaRankLoss,
+    MSELoss,
+    lambda_rank_loss,
+    lambda_rank_loss_grouped,
+    mse_loss,
+)
 from repro.nn.module import Module, Parameter, Sequential
 from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad, softmax
@@ -25,6 +31,7 @@ __all__ = [
     "BatchLoader",
     "CosineLR",
     "Dropout",
+    "GroupedBatchLoader",
     "LambdaRankLoss",
     "LayerNorm",
     "Linear",
@@ -47,6 +54,7 @@ __all__ = [
     "functional",
     "is_grad_enabled",
     "lambda_rank_loss",
+    "lambda_rank_loss_grouped",
     "max_relative_error",
     "mse_loss",
     "no_grad",

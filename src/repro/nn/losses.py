@@ -77,6 +77,56 @@ def lambda_rank_loss(pred: Tensor, labels: np.ndarray, sigma: float = 1.0) -> Te
     return pair_costs.sum() * np.float32(1.0 / (_LN2 * n_pairs))
 
 
+def lambda_rank_loss_grouped(
+    pred: Tensor,
+    labels: np.ndarray,
+    groups: np.ndarray,
+    sigma: float = 1.0,
+) -> Tensor:
+    """LambdaRank over a batch of *contiguous* candidate groups.
+
+    ``groups`` assigns each row of ``pred`` to a (task, platform) group;
+    rows of one group must be contiguous (the layout
+    ``GroupedBatchLoader`` emits).  Each group contributes its own
+    per-pair-normalized :func:`lambda_rank_loss`; the batch loss is the
+    mean over groups that actually produced pairs, so a stray singleton
+    or an all-tied group dilutes nothing.  Slicing ``pred`` per segment
+    is differentiable, so gradients flow back exactly as if each group
+    had been its own batch.
+    """
+    pred = as_tensor(pred)
+    gids = np.asarray(groups).reshape(-1)
+    y = np.asarray(labels, dtype=np.float32).reshape(-1)
+    if pred.data.shape != y.shape or gids.shape != y.shape:
+        raise ValueError(
+            f"shape mismatch: pred {pred.data.shape}, labels {y.shape}, "
+            f"groups {gids.shape}"
+        )
+    if gids.shape[0] == 0:
+        return (pred * np.float32(0.0)).sum()
+    # Boundaries of the contiguous runs; a group id reappearing later in
+    # the batch would start a new run and silently weaken the ranking
+    # signal, so reject non-contiguous layouts loudly.
+    starts = np.flatnonzero(np.diff(gids) != 0) + 1
+    bounds = np.concatenate(([0], starts, [gids.shape[0]]))
+    run_ids = gids[bounds[:-1]]
+    if np.unique(run_ids).shape[0] != run_ids.shape[0]:
+        raise ValueError("groups must be contiguous within the batch")
+
+    total: Tensor | None = None
+    contributing = 0
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        seg_y = y[start:stop]
+        if stop - start < 2 or np.all(seg_y == seg_y[0]):
+            continue
+        seg_loss = lambda_rank_loss(pred[int(start):int(stop)], seg_y, sigma)
+        total = seg_loss if total is None else total + seg_loss
+        contributing += 1
+    if total is None:
+        return (pred * np.float32(0.0)).sum()
+    return total * np.float32(1.0 / contributing)
+
+
 class MSELoss:
     def __call__(self, pred: Tensor, target: np.ndarray) -> Tensor:
         return mse_loss(pred, target)
@@ -90,4 +140,10 @@ class LambdaRankLoss:
         return lambda_rank_loss(pred, labels, self.sigma)
 
 
-__all__ = ["LambdaRankLoss", "MSELoss", "lambda_rank_loss", "mse_loss"]
+__all__ = [
+    "LambdaRankLoss",
+    "MSELoss",
+    "lambda_rank_loss",
+    "lambda_rank_loss_grouped",
+    "mse_loss",
+]

@@ -3,7 +3,9 @@
 Optimizers mutate ``Parameter.data`` in place from accumulated ``.grad``
 ndarrays; all state (momentum / moment buffers) is float32 and owned by
 the optimizer, so a model plus its optimizer state is fully captured by
-``Module.state_dict`` + the buffers here.
+``Module.state_dict`` + ``Optimizer.state_dict``.  Both are flat
+``name -> ndarray`` dicts, so one ``np.savez`` holds a complete,
+bit-reproducible training snapshot (see ``repro.core.trainer``).
 """
 
 from __future__ import annotations
@@ -43,6 +45,52 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def _state_items(self) -> dict[str, np.ndarray]:
+        """Subclass hook: the optimizer-specific buffers, name -> ndarray."""
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``name -> ndarray`` snapshot of all mutable optimizer state.
+
+        Buffers are *copies*, so a snapshot taken mid-training is immune
+        to later ``step()`` calls; the scalar learning rate rides along
+        so a schedule-adjusted lr survives resume even before the next
+        scheduler step.
+        """
+        # lr is checkpoint metadata, not compute state: keep full precision
+        # so restore round-trips the float exactly.
+        state: dict[str, np.ndarray] = {
+            "lr": np.float64(self._lr).reshape(())  # selfcheck: allow[SC103]
+        }
+        for name, buf in self._state_items().items():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a ``state_dict`` snapshot in place.
+
+        Validates the exact key set and every buffer shape so loading a
+        snapshot from a differently-shaped model (or the wrong optimizer
+        class) fails loudly instead of silently corrupting training.
+        """
+        own = self._state_items()
+        expected = {"lr"} | set(own)
+        got = set(state)
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise KeyError(
+                f"optimizer state mismatch: missing {missing}, unexpected {extra}"
+            )
+        for name, buf in own.items():
+            src = np.asarray(state[name])
+            if src.shape != buf.shape:
+                raise ValueError(
+                    f"optimizer buffer {name!r}: shape {src.shape} != {buf.shape}"
+                )
+            np.copyto(buf, src)
+        self.lr = float(np.asarray(state["lr"]))
+
 
 class SGD(Optimizer):
     """SGD with classical momentum."""
@@ -63,6 +111,9 @@ class SGD(Optimizer):
             else:
                 update = p.grad
             p.data -= np.float32(self.lr) * update
+
+    def _state_items(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v for i, v in enumerate(self._velocity)}
 
 
 class Adam(Optimizer):
@@ -101,6 +152,30 @@ class Adam(Optimizer):
                 p.data -= np.float32(self.lr * self.weight_decay) * p.data
             p.data -= scale * m / (np.sqrt(v) + np.float32(self.eps))
 
+    def _state_items(self) -> dict[str, np.ndarray]:
+        items: dict[str, np.ndarray] = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            items[f"m.{i}"] = m
+            items[f"v.{i}"] = v
+        return items
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        # Bias correction depends on the step count, so it is part of the
+        # state even though it is a scalar, not a buffer.
+        state["step_count"] = np.int64(self._step_count).reshape(())
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        if "step_count" not in state:
+            raise KeyError("optimizer state mismatch: missing ['step_count']")
+        step_count = int(np.asarray(state.pop("step_count")))
+        if step_count < 0:
+            raise ValueError(f"negative step_count {step_count}")
+        super().load_state_dict(state)
+        self._step_count = step_count
+
 
 class StepLR:
     """Multiply the optimizer's LR by ``gamma`` every ``step_size`` epochs."""
@@ -120,6 +195,15 @@ class StepLR:
         self.epoch += 1
         self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"epoch": np.int64(self.epoch).reshape(())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        epoch = int(np.asarray(state["epoch"]))
+        if epoch < 0:
+            raise ValueError(f"negative schedule epoch {epoch}")
+        self.epoch = epoch
 
 
 class CosineLR:
@@ -149,11 +233,24 @@ class CosineLR:
         self.epoch = 0
 
     def step(self) -> float:
+        # Clamp at the horizon: past ``total_epochs`` the raw cosine comes
+        # back *up*, so an over-long run would silently raise the lr again.
         self.epoch = min(self.epoch + 1, self.total_epochs)
         span = self.base_lr - self.min_lr
         cos = math.cos(math.pi * self.epoch / self.total_epochs)
         self.optimizer.lr = self.min_lr + 0.5 * span * (1.0 + cos)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"epoch": np.int64(self.epoch).reshape(())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        epoch = int(np.asarray(state["epoch"]))
+        if not 0 <= epoch <= self.total_epochs:
+            raise ValueError(
+                f"schedule epoch {epoch} outside [0, {self.total_epochs}]"
+            )
+        self.epoch = epoch
 
 
 __all__ = ["Adam", "CosineLR", "Optimizer", "SGD", "StepLR"]

@@ -133,3 +133,76 @@ def test_batchloader_over_subset_trains_on_one_split(reader):
         seen += X.shape[0]
     assert seen == len(train)
     assert train_tasks  # non-degenerate split
+
+
+def test_narrow_columns_are_memoized_one_load_per_shard(store, monkeypatch):
+    """Regression: task_ids() used to re-concatenate every shard's narrow
+    column on each call, making repeated split_indices() O(store)."""
+    import repro.dataset.reader as reader_mod
+
+    _, store_dir, _ = store
+    fresh = ShardReader(store_dir)
+    calls: list[tuple[int, str]] = []
+    real = reader_mod.load_shard_column
+
+    def counting(sdir, shard, name):
+        calls.append((shard, name))
+        return real(sdir, shard, name)
+
+    monkeypatch.setattr(reader_mod, "load_shard_column", counting)
+    first = fresh.task_ids()
+    n_shards = fresh.n_shards
+    assert calls == [(s, "task_id") for s in range(n_shards)]
+    for _ in range(3):  # repeated callers hit the memo, not the shards
+        fresh.task_ids()
+        fresh.split_indices("train")
+        fresh.split_indices("holdout")
+    assert len(calls) == n_shards
+    assert np.array_equal(fresh.task_ids(), first)
+    fresh.platform_ids()
+    assert len(calls) == 2 * n_shards  # one more pass, platform_id only
+
+
+def test_platform_ids_match_per_record_column(reader):
+    pids = reader.platform_ids()
+    assert pids.dtype == np.int16
+    assert pids.shape == (len(reader),)
+    (ref,) = reader.gather(np.arange(len(reader)), columns=("platform_id",))
+    assert np.array_equal(pids, ref)
+    n_plat = len(reader.manifest.spec.platforms)
+    assert set(np.unique(pids)) <= set(range(n_plat))
+
+
+def test_narrow_column_rejects_wide_columns(reader):
+    with pytest.raises(ValueError, match="narrow"):
+        reader._narrow_column("X")
+
+
+def test_gather_into_preallocated_buffers(reader):
+    idx = np.asarray([0, len(reader) // 2, len(reader) - 1])
+    ref = reader.gather(idx)
+    cols = reader.manifest.schema.columns()
+    bufs = tuple(
+        np.empty((3, *cols[name][1]), dtype=cols[name][0])
+        for name in ("X", "mask", "label")
+    )
+    out = reader.gather(idx, out=bufs)
+    for o, b, r in zip(out, bufs, ref):
+        assert o is b  # filled in place, returned as-is
+        assert np.array_equal(o, r)
+
+
+def test_gather_out_validates_shape_dtype_and_arity(reader):
+    idx = np.asarray([0, 1])
+    cols = reader.manifest.schema.columns()
+    good = tuple(
+        np.empty((2, *cols[n][1]), dtype=cols[n][0]) for n in ("X", "mask", "label")
+    )
+    with pytest.raises(ValueError, match="buffers"):
+        reader.gather(idx, out=good[:2])
+    bad_shape = (np.empty((3, *cols["X"][1]), dtype=np.float32),) + good[1:]
+    with pytest.raises(ValueError, match="out buffer"):
+        reader.gather(idx, out=bad_shape)
+    bad_dtype = (good[0].astype(np.float64),) + good[1:]
+    with pytest.raises(ValueError, match="out buffer"):
+        reader.gather(idx, out=bad_dtype)

@@ -1,0 +1,114 @@
+"""Top-k best-found latency ratio (Table 6/7) and its exact random baseline."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    random_top_k_score,
+    random_top_k_scores_grouped,
+    top_k_score,
+    top_k_scores_grouped,
+)
+from repro.utils.rng import stream
+
+_RNG = stream("test.core.metrics")
+
+
+def test_perfect_model_scores_one():
+    lat = np.array([4.0, 1.0, 2.0, 8.0], dtype=np.float32)
+    scores = 1.0 / lat  # higher score = faster, perfectly informed
+    assert top_k_score(scores, lat, 1) == pytest.approx(1.0)
+    assert top_k_score(scores, lat, 3) == pytest.approx(1.0)
+
+
+def test_top_k_is_best_over_exactly_k_picks():
+    lat = np.array([1.0, 2.0, 4.0, 8.0])
+    scores = np.array([0.0, 1.0, 3.0, 2.0])  # ranks: idx2, idx3, idx1, idx0
+    assert top_k_score(scores, lat, 1) == pytest.approx(1.0 / 4.0)
+    assert top_k_score(scores, lat, 2) == pytest.approx(1.0 / 4.0)  # {2,3}
+    assert top_k_score(scores, lat, 3) == pytest.approx(1.0 / 2.0)  # +{1}
+    assert top_k_score(scores, lat, 4) == pytest.approx(1.0)
+
+
+def test_score_ties_break_by_index_stably():
+    lat = np.array([2.0, 1.0, 4.0])
+    scores = np.zeros(3)
+    # stable argsort on -scores keeps index order: pick 0 first
+    assert top_k_score(scores, lat, 1) == pytest.approx(1.0 / 2.0)
+
+
+def test_top_k_validates_inputs():
+    lat = np.array([1.0, 2.0])
+    with pytest.raises(ValueError, match="k"):
+        top_k_score(np.zeros(2), lat, 0)
+    with pytest.raises(ValueError, match="shape"):
+        top_k_score(np.zeros(3), lat, 1)
+    with pytest.raises(ValueError, match="positive"):
+        top_k_score(np.zeros(2), np.array([1.0, 0.0]), 1)
+    with pytest.raises(ValueError):
+        top_k_score(np.zeros(0), np.zeros(0), 1)
+
+
+@pytest.mark.parametrize("n,k", [(5, 1), (5, 2), (6, 3), (7, 5)])
+def test_random_baseline_matches_brute_force_enumeration(n, k):
+    """The closed form equals the literal average over all C(n, k) subsets."""
+    lat = np.sort(_RNG.random(n).astype(np.float64) + 0.1)
+    best = lat.min()
+    brute = float(np.mean([
+        best / min(lat[list(combo)])
+        for combo in itertools.combinations(range(n), k)
+    ]))
+    assert random_top_k_score(lat, k) == pytest.approx(brute, rel=1e-12)
+
+
+def test_random_baseline_k_geq_n_is_one():
+    lat = np.array([3.0, 1.0, 2.0])
+    assert random_top_k_score(lat, 3) == 1.0
+    assert random_top_k_score(lat, 10) == 1.0
+
+
+def test_random_baseline_improves_with_k():
+    lat = _RNG.random(20) + 0.05
+    scores = [random_top_k_score(lat, k) for k in (1, 2, 5, 10, 20)]
+    assert all(b > a for a, b in zip(scores, scores[1:]))
+    assert scores[-1] == 1.0
+
+
+def test_grouped_means_match_per_group_scores():
+    lat = np.array([1.0, 2.0, 4.0, 3.0, 1.5, 6.0], dtype=np.float32)
+    scores = np.array([0.5, 0.1, 0.9, 0.2, 0.8, 0.3], dtype=np.float32)
+    gids = np.array([4, 4, 4, 9, 9, 9])
+    got = top_k_scores_grouped(scores, lat, gids, ks=(1, 2))
+    for k in (1, 2):
+        expected = (top_k_score(scores[:3], lat[:3], k)
+                    + top_k_score(scores[3:], lat[3:], k)) / 2.0
+        assert got[k] == pytest.approx(expected)
+    rand = random_top_k_scores_grouped(lat, gids, ks=(1, 2))
+    for k in (1, 2):
+        expected = (random_top_k_score(lat[:3], k)
+                    + random_top_k_score(lat[3:], k)) / 2.0
+        assert rand[k] == pytest.approx(expected)
+
+
+def test_grouped_rejects_non_contiguous_and_empty():
+    lat = np.array([1.0, 2.0, 3.0, 4.0])
+    with pytest.raises(ValueError, match="contiguous"):
+        top_k_scores_grouped(np.zeros(4), lat, np.array([1, 2, 1, 2]))
+    with pytest.raises(ValueError, match="no groups"):
+        top_k_scores_grouped(np.zeros(0), np.zeros(0), np.zeros(0))
+    with pytest.raises(ValueError, match="shape"):
+        random_top_k_scores_grouped(lat, np.zeros(3))
+
+
+def test_informed_model_beats_random_baseline_on_average():
+    """Sanity link between the two halves: a noisy-but-informed scorer
+    must land above the random baseline, an anti-informed one below."""
+    lat = _RNG.random(64).astype(np.float64) + 0.1
+    informed = -lat + 0.05 * _RNG.standard_normal(64)
+    rand = random_top_k_score(lat, 5)
+    assert top_k_score(informed, lat, 5) > rand
+    assert top_k_score(-informed, lat, 5) < rand

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import ArraySource, BatchLoader, RecordSource
+from repro.nn import ArraySource, BatchLoader, GroupedBatchLoader, RecordSource
 from repro.utils.rng import stream
 
 _N, _L, _F = 23, 5, 4
@@ -185,3 +185,99 @@ def test_source_loader_validates_inputs():
         BatchLoader(_CountingSource(_X, _MASK, _Y), labels=_Y)
     with pytest.raises(TypeError):
         BatchLoader(object())  # neither array nor RecordSource
+
+
+# -- GroupedBatchLoader ---------------------------------------------------
+
+
+def _grouped_fixture(n_groups=5, rows_per_group=13, seed_name="t.data.grp"):
+    rng = stream(seed_name)
+    n = n_groups * rows_per_group
+    X = rng.standard_normal((n, _L, _F)).astype(np.float32)
+    mask = np.ones((n, _L), dtype=np.float32)
+    y = rng.random(n).astype(np.float32)
+    gids = np.repeat(np.arange(10, 10 + n_groups), rows_per_group)
+    # Scatter rows so groups are NOT contiguous in the source.
+    perm = rng.permutation(n)
+    return ArraySource(X[perm], mask[perm], y[perm]), gids[perm]
+
+
+def test_grouped_loader_batches_are_group_contiguous_and_cover_epoch():
+    source, gids = _grouped_fixture()
+    loader = GroupedBatchLoader(source, gids, batch_size=24, segment_size=8,
+                                stream_name="t.grp.cover")
+    seen = []
+    for idx, bg in loader.iter_indices():
+        assert idx.shape == bg.shape and idx.dtype == np.int64
+        assert idx.shape[0] <= 24
+        # every group's rows are one contiguous run
+        changes = np.flatnonzero(np.diff(bg) != 0) + 1
+        run_ids = bg[np.concatenate(([0], changes))]
+        assert np.unique(run_ids).shape[0] == run_ids.shape[0]
+        # group labels are truthful
+        assert np.array_equal(gids[idx], bg)
+        seen.extend(idx.tolist())
+    assert sorted(seen) == list(range(len(source)))
+
+
+def test_grouped_loader_iter_yields_source_arrays_plus_groups():
+    source, gids = _grouped_fixture(seed_name="t.grp.iter")
+    loader = GroupedBatchLoader(source, gids, batch_size=16, segment_size=8,
+                                stream_name="t.grp.iter.loader")
+    batch = next(iter(loader))
+    X, mask, y, bg = batch
+    assert X.shape[0] == mask.shape[0] == y.shape[0] == bg.shape[0]
+
+
+def test_grouped_loader_segments_never_split_below_pair_size():
+    """Packing keeps whole segments: a batch never receives a partial
+    segment, so group runs inside a batch have >= min(group, segment)
+    rows except for genuine remainder chunks."""
+    source, gids = _grouped_fixture(n_groups=3, rows_per_group=9,
+                                    seed_name="t.grp.seg")
+    loader = GroupedBatchLoader(source, gids, batch_size=8, segment_size=4,
+                                stream_name="t.grp.seg.loader")
+    # 9 rows -> segments of 4, 4, 1 per group; batches pack whole segments.
+    sizes = [idx.shape[0] for idx, _ in loader.iter_indices()]
+    assert sum(sizes) == 27
+    assert all(s <= 8 for s in sizes)
+
+
+def test_grouped_loader_epoch_resume_is_bit_identical():
+    """Epoch k is a pure function of (stream name, k): a fresh loader
+    fast-forwarded via load_state_dict replays the interrupted run."""
+    source, gids = _grouped_fixture(seed_name="t.grp.resume")
+    mk = lambda: GroupedBatchLoader(source, gids, batch_size=16, segment_size=8,
+                                    stream_name="t.grp.resume.loader")
+    full = mk()
+    epochs = [[(i.tobytes(), g.tobytes()) for i, g in full.iter_indices()]
+              for _ in range(4)]
+    resumed = mk()
+    resumed.load_state_dict({"epoch": np.int64(2)})
+    replay = [[(i.tobytes(), g.tobytes()) for i, g in resumed.iter_indices()]
+              for _ in range(2)]
+    assert replay == epochs[2:]
+    assert resumed.epoch == 4
+
+
+def test_grouped_loader_epoch_advances_only_on_full_consumption():
+    source, gids = _grouped_fixture(seed_name="t.grp.partial")
+    loader = GroupedBatchLoader(source, gids, batch_size=16, segment_size=8,
+                                stream_name="t.grp.partial.loader")
+    it = loader.iter_indices()
+    next(it)
+    assert loader.epoch == 0  # abandoned mid-epoch: counter untouched
+    list(loader.iter_indices())
+    assert loader.epoch == 1
+
+
+def test_grouped_loader_validates_geometry():
+    source, gids = _grouped_fixture(seed_name="t.grp.valid")
+    with pytest.raises(ValueError, match="batch_size"):
+        GroupedBatchLoader(source, gids, batch_size=4, segment_size=8)
+    with pytest.raises(ValueError, match="segment_size"):
+        GroupedBatchLoader(source, gids, batch_size=4, segment_size=0)
+    with pytest.raises(ValueError, match="group_ids"):
+        GroupedBatchLoader(source, gids[:-1])
+    with pytest.raises(TypeError):
+        GroupedBatchLoader(object(), gids)

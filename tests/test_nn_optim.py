@@ -7,6 +7,7 @@ import pytest
 
 from repro.nn import SGD, Adam, CosineLR, Parameter, StepLR
 from repro.nn.tensor import Tensor
+from repro.utils.rng import stream
 
 
 def _quadratic(p: Parameter, target: np.ndarray) -> Tensor:
@@ -145,3 +146,118 @@ def test_all_optimizer_state_is_float32():
     opt.step()
     assert p.data.dtype == np.float32
     assert opt._m[0].dtype == np.float32 and opt._v[0].dtype == np.float32
+
+
+def test_cosine_lr_stays_clamped_far_past_horizon():
+    """Regression: unclamped, the raw cosine comes back *up* past
+    ``total_epochs`` — training 3x longer than scheduled would silently
+    raise the lr to the base value again.  It must sit exactly at
+    ``min_lr`` for every post-horizon epoch."""
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=1.0)
+    sched = CosineLR(opt, total_epochs=4, min_lr=0.05)
+    lrs = [sched.step() for _ in range(12)]  # 3x the horizon
+    assert all(lr == pytest.approx(0.05) for lr in lrs[3:])
+    assert sched.epoch == 4  # the counter clamps too
+
+
+def _train_steps(p, opt, grads):
+    for g in grads:
+        opt.zero_grad()
+        p.grad = g.copy()
+        opt.step()
+
+
+@pytest.mark.parametrize("factory", [
+    lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+    lambda ps: Adam(ps, lr=0.01, weight_decay=0.1),
+])
+def test_optimizer_state_roundtrip_resume_is_bit_identical(factory):
+    """Resume from state_dict == never stopping, bit for bit.
+
+    The optim.py docstring has always claimed model + optimizer state is
+    fully capturable; before state_dict/load_state_dict existed, resuming
+    silently reset SGD velocity and Adam moments/step count."""
+    rng = stream("test.nn.optim.resume")
+    grads = [rng.standard_normal(4).astype(np.float32) for _ in range(8)]
+
+    p_full = Parameter(np.ones(4, dtype=np.float32))
+    opt_full = factory([p_full])
+    _train_steps(p_full, opt_full, grads)
+
+    p_a = Parameter(np.ones(4, dtype=np.float32))
+    opt_a = factory([p_a])
+    _train_steps(p_a, opt_a, grads[:3])
+    snapshot = opt_a.state_dict()
+    weights = p_a.data.copy()
+
+    # Fresh parameter + optimizer, as a new process would build them.
+    p_b = Parameter(weights)
+    opt_b = factory([p_b])
+    opt_b.load_state_dict(snapshot)
+    _train_steps(p_b, opt_b, grads[3:])
+    assert np.array_equal(p_b.data, p_full.data)
+
+
+def test_optimizer_state_dict_is_a_snapshot_not_a_view():
+    p = Parameter(np.ones(2, dtype=np.float32))
+    opt = SGD([p], lr=0.1, momentum=0.9)
+    p.grad = np.ones(2, dtype=np.float32)
+    opt.step()
+    snap = opt.state_dict()
+    before = snap["velocity.0"].copy()
+    p.grad = np.full(2, 5.0, dtype=np.float32)
+    opt.step()
+    assert np.array_equal(snap["velocity.0"], before)  # later steps don't leak in
+
+
+def test_optimizer_state_npz_roundtrip(tmp_path):
+    """One np.savez holds optimizer state alongside Module.save weights."""
+    p = Parameter(np.ones(3, dtype=np.float32))
+    opt = Adam([p], lr=0.02)
+    p.grad = np.arange(3, dtype=np.float32)
+    opt.step()
+    path = tmp_path / "optim.npz"
+    np.savez(path, **opt.state_dict())
+    with np.load(path) as z:
+        restored = {k: z[k] for k in z.files}
+    p2 = Parameter(np.ones(3, dtype=np.float32))
+    opt2 = Adam([p2], lr=0.5)
+    opt2.load_state_dict(restored)
+    assert opt2.lr == pytest.approx(0.02)
+    assert opt2._step_count == 1
+    assert np.array_equal(opt2._m[0], opt._m[0])
+    assert np.array_equal(opt2._v[0], opt._v[0])
+
+
+def test_optimizer_load_state_dict_validates_keys_and_shapes():
+    p = Parameter(np.ones(3, dtype=np.float32))
+    opt = SGD([p], lr=0.1, momentum=0.9)
+    state = opt.state_dict()
+    with pytest.raises(KeyError, match="missing"):
+        opt.load_state_dict({"lr": state["lr"]})
+    bad = dict(state)
+    bad["velocity.0"] = np.zeros(7, dtype=np.float32)
+    with pytest.raises(ValueError, match="shape"):
+        opt.load_state_dict(bad)
+    # Adam state into SGD: wrong key set, must fail loudly.
+    adam = Adam([Parameter(np.ones(3, dtype=np.float32))], lr=0.1)
+    with pytest.raises(KeyError):
+        opt.load_state_dict(adam.state_dict())
+
+
+def test_scheduler_state_roundtrip():
+    p = Parameter(np.ones(1, dtype=np.float32))
+    opt = SGD([p], lr=1.0)
+    sched = CosineLR(opt, total_epochs=6, min_lr=0.1)
+    for _ in range(3):
+        sched.step()
+    snap = sched.state_dict()
+
+    opt2 = SGD([Parameter(np.ones(1, dtype=np.float32))], lr=1.0)
+    sched2 = CosineLR(opt2, total_epochs=6, min_lr=0.1)
+    sched2.load_state_dict(snap)
+    assert sched2.epoch == 3
+    assert sched2.step() == pytest.approx(sched.step())
+    with pytest.raises(ValueError, match="epoch"):
+        sched2.load_state_dict({"epoch": np.int64(99)})
